@@ -1,0 +1,68 @@
+"""Section V-B feasibility study — divide-and-conquer is not viable.
+
+Reproduces the paper's two arguments against the D&C paradigm on the
+SK stand-in (the dataset the paper uses for its KaHIP/Spinner
+comparison):
+
+1. parallel graph partitioning alone costs a large multiple of PHCD's
+   entire 40-core construction time;
+2. the local-k-core-search merge (RC) dominates, making the full D&C
+   stack far slower than PHCD.
+"""
+
+from __future__ import annotations
+
+from common import emit, paper_table, sim_seconds
+from repro.core.divide_conquer import dnc_build_hcd
+from repro.parallel.scheduler import SimulatedPool
+
+DATASET = "SK"
+P = 40
+
+
+def _measure(lab):
+    b = lab.bundle(DATASET)
+    pool = SimulatedPool(threads=P)
+    dnc = dnc_build_hcd(b.graph, b.coreness, pool, num_parts=P)
+    phcd = lab.phcd_time(DATASET, P)
+    rows = [
+        ["PHCD (40)", f"{sim_seconds(phcd):.3f}", "1.00x"],
+        [
+            "partition only",
+            f"{sim_seconds(dnc.partition_time):.3f}",
+            f"{dnc.partition_time / phcd:.2f}x",
+        ],
+        [
+            "partial LCPS",
+            f"{sim_seconds(dnc.local_lcps_time):.3f}",
+            f"{dnc.local_lcps_time / phcd:.2f}x",
+        ],
+        [
+            "RC merge",
+            f"{sim_seconds(dnc.merge_time):.3f}",
+            f"{dnc.merge_time / phcd:.2f}x",
+        ],
+        [
+            "D&C total",
+            f"{sim_seconds(dnc.total_time):.3f}",
+            f"{dnc.total_time / phcd:.2f}x",
+        ],
+    ]
+    return rows, dnc, phcd
+
+
+def test_feasibility_divide_and_conquer(lab, benchmark):
+    rows, dnc, phcd = benchmark.pedantic(
+        _measure, args=(lab,), rounds=1, iterations=1
+    )
+    text = paper_table(
+        ["phase", "time (s)", "vs PHCD(40)"],
+        rows,
+        title=f"Section V-B — divide-and-conquer feasibility on {DATASET} (40 cores)",
+    )
+    emit("feasibility_dnc", text)
+    # the paper's two findings
+    assert dnc.partition_time > phcd, "partitioning alone must exceed PHCD"
+    assert dnc.total_time > 3 * phcd, "full D&C must be far slower"
+    # and the merge's RC cost must dominate the D&C stack
+    assert dnc.merge_time > dnc.local_lcps_time

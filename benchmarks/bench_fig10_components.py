@@ -1,0 +1,57 @@
+"""Figure 10 — per-component 40-core speedup over the serial stack.
+
+For each figure dataset, the 40-thread speedup of every pipeline
+component against its serial counterpart:
+
+* CD   — PKC(40) vs Batagelj-Zaversnik
+* HCD  — PHCD(40) vs LCPS
+* SC-A — PBKS type-A score computation (excl. preprocessing) vs BKS
+* SC-B — PBKS type-B vs BKS
+
+Paper shape: CD has the lowest speedup (hardest to parallelize), SC-A
+the highest (>40x on some datasets), SC-B in between (~20x).
+"""
+
+from __future__ import annotations
+
+from common import (
+    FIGURE_DATASETS,
+    TYPE_A_METRIC,
+    TYPE_B_METRIC,
+    emit,
+    paper_table,
+)
+
+P = 40
+
+
+def _rows(lab):
+    rows = []
+    for abbr in FIGURE_DATASETS:
+        cd = lab.bz_time(abbr) / lab.pkc_time(abbr, P)
+        hcd = lab.lcps_time(abbr) / lab.phcd_time(abbr, P)
+        sc_a = lab.bks_time(abbr, TYPE_A_METRIC) / lab.pbks_time(
+            abbr, TYPE_A_METRIC, P
+        )
+        sc_b = lab.bks_time(abbr, TYPE_B_METRIC) / lab.pbks_time(
+            abbr, TYPE_B_METRIC, P
+        )
+        rows.append(
+            [abbr, f"{cd:.1f}", f"{hcd:.1f}", f"{sc_a:.1f}", f"{sc_b:.1f}"]
+        )
+    return rows
+
+
+def test_fig10_component_speedups(lab, benchmark):
+    rows = benchmark.pedantic(_rows, args=(lab,), rounds=1, iterations=1)
+    text = paper_table(
+        ["DS", "CD", "HCD", "SC-A", "SC-B"],
+        rows,
+        title="Figure 10 — per-component 40-core speedup over the serial stack",
+    )
+    emit("fig10_components", text)
+    for row in rows:
+        cd, hcd, sc_a, sc_b = (float(x) for x in row[1:])
+        assert cd < sc_a, f"{row[0]}: CD must scale worst vs SC-A"
+        assert sc_b < sc_a, f"{row[0]}: SC-B must trail SC-A"
+        assert all(x > 1.0 for x in (cd, hcd, sc_a, sc_b)), row[0]

@@ -1,0 +1,43 @@
+"""Figure 4 — PHCD's speedup over LCPS across thread counts.
+
+One series per figure dataset: ``speedup(p) = LCPS(1) / PHCD(p)`` for
+p in {1, 5, 10, 20, 40}.  Paper shape: monotone-increasing curves,
+serial ratio 1.24-2.33x, up to 22x at 40 cores, with larger graphs
+scaling better.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.stats import ascii_series
+
+from common import FIGURE_DATASETS, THREADS, emit, paper_table
+
+
+def _series(lab):
+    rows = []
+    for abbr in FIGURE_DATASETS:
+        lcps = lab.lcps_time(abbr)
+        series = [lcps / lab.phcd_time(abbr, p) for p in THREADS]
+        rows.append(
+            [abbr]
+            + [f"{x:.2f}" for x in series]
+            + [ascii_series(series)]
+        )
+    return rows
+
+
+def test_fig4_phcd_speedup_over_lcps(lab, benchmark):
+    rows = benchmark.pedantic(_series, args=(lab,), rounds=1, iterations=1)
+    text = paper_table(
+        ["DS"] + [f"p={p}" for p in THREADS] + ["curve"],
+        rows,
+        title="Figure 4 — PHCD's speedup to LCPS (one row per dataset)",
+    )
+    emit("fig4_phcd_speedup", text)
+    for row in rows:
+        series = [float(x) for x in row[1:-1]]
+        # serial band and scaling shape
+        assert series[0] > 1.0, f"{row[0]}: PHCD(1) must beat LCPS"
+        assert series[-1] > 2.0 * series[0], f"{row[0]}: must scale"
+        # 40 threads fastest up to saturation noise on small stand-ins
+        assert series[-1] >= 0.95 * max(series), f"{row[0]}: 40 threads fastest"

@@ -1,0 +1,46 @@
+"""Figure 5 — (PKC + PHCD) speedup over (BZ + LCPS), input included.
+
+The same sweep as Figure 4 but charging the core-decomposition input
+computation on both sides: the parallel stack pays PKC, the serial
+stack pays Batagelj-Zaversnik.  Paper shape: curves like Figure 4 but
+with a lower ceiling, because PKC scales worse than PHCD.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.stats import ascii_series
+
+from common import FIGURE_DATASETS, THREADS, emit, paper_table
+
+
+def _series(lab):
+    rows = []
+    for abbr in FIGURE_DATASETS:
+        serial = lab.serial_stack_construction(abbr)
+        series = [
+            serial / lab.parallel_stack_construction(abbr, p) for p in THREADS
+        ]
+        rows.append(
+            [abbr]
+            + [f"{x:.2f}" for x in series]
+            + [ascii_series(series)]
+        )
+    return rows
+
+
+def test_fig5_stack_speedup_with_input(lab, benchmark):
+    rows = benchmark.pedantic(_series, args=(lab,), rounds=1, iterations=1)
+    text = paper_table(
+        ["DS"] + [f"p={p}" for p in THREADS] + ["curve"],
+        rows,
+        title="Figure 5 — (PKC+PHCD) speedup to (BZ+LCPS), incl. input",
+    )
+    emit("fig5_with_input", text)
+    for abbr, row in zip(FIGURE_DATASETS, rows):
+        with_input = [float(x) for x in row[1:-1]]
+        pure = [
+            lab.lcps_time(abbr) / lab.phcd_time(abbr, p) for p in THREADS
+        ]
+        # including the input reduces the 40-core speedup (PKC drags)
+        assert with_input[-1] < pure[-1]
+        assert with_input[-1] > 1.0

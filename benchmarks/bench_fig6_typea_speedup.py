@@ -1,0 +1,48 @@
+"""Figure 6 — PBKS's speedup to BKS, type-A score computation.
+
+Thread sweep over the six figure datasets, measuring PBKS's score
+computation (shared preprocessing excluded, per the paper's Figure 10
+note) against the full serial BKS.  Paper shape: up to ~50x at 40
+threads, monotone in p.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.stats import ascii_series
+
+from common import (
+    FIGURE_DATASETS,
+    THREADS,
+    TYPE_A_METRIC,
+    emit,
+    paper_table,
+)
+
+
+def _series(lab):
+    rows = []
+    for abbr in FIGURE_DATASETS:
+        bks = lab.bks_time(abbr, TYPE_A_METRIC)
+        series = [
+            bks / lab.pbks_time(abbr, TYPE_A_METRIC, p) for p in THREADS
+        ]
+        rows.append(
+            [abbr]
+            + [f"{x:.1f}" for x in series]
+            + [ascii_series(series)]
+        )
+    return rows
+
+
+def test_fig6_typea_score_speedup(lab, benchmark):
+    rows = benchmark.pedantic(_series, args=(lab,), rounds=1, iterations=1)
+    text = paper_table(
+        ["DS"] + [f"p={p}" for p in THREADS] + ["curve"],
+        rows,
+        title="Figure 6 — PBKS's speedup to BKS (type-A score computation)",
+    )
+    emit("fig6_typea_speedup", text)
+    for row in rows:
+        series = [float(x) for x in row[1:-1]]
+        assert series == sorted(series), f"{row[0]}: must be monotone"
+        assert series[-1] > 10.0, f"{row[0]}: 40-thread speedup too low"

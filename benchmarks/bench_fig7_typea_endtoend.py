@@ -1,0 +1,53 @@
+"""Figure 7 — end-to-end type-A speedup, inputs included.
+
+(PKC + PHCD + preprocessing + PBKS) against (BZ + LCPS + BKS).  The
+paper's shape: speedups well below Figure 6's because computing the
+input dominates and scales worse than the score computation.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.stats import ascii_series
+
+from common import (
+    FIGURE_DATASETS,
+    THREADS,
+    TYPE_A_METRIC,
+    emit,
+    paper_table,
+)
+
+
+def _series(lab):
+    rows = []
+    for abbr in FIGURE_DATASETS:
+        serial = lab.serial_stack_search(abbr, TYPE_A_METRIC)
+        series = [
+            serial / lab.parallel_stack_search(abbr, TYPE_A_METRIC, p)
+            for p in THREADS
+        ]
+        rows.append(
+            [abbr]
+            + [f"{x:.2f}" for x in series]
+            + [ascii_series(series)]
+        )
+    return rows
+
+
+def test_fig7_typea_endtoend_speedup(lab, benchmark):
+    rows = benchmark.pedantic(_series, args=(lab,), rounds=1, iterations=1)
+    text = paper_table(
+        ["DS"] + [f"p={p}" for p in THREADS] + ["curve"],
+        rows,
+        title="Figure 7 — (PKC+PHCD+PBKS) speedup to (BZ+LCPS+BKS), type-A",
+    )
+    emit("fig7_typea_endtoend", text)
+    for abbr, row in zip(FIGURE_DATASETS, rows):
+        series = [float(x) for x in row[1:-1]]
+        score_only = lab.bks_time(abbr, TYPE_A_METRIC) / lab.pbks_time(
+            abbr, TYPE_A_METRIC, 40
+        )
+        assert series[-1] > 1.5, f"{abbr}: end-to-end must still win"
+        assert series[-1] < score_only, (
+            f"{abbr}: input computation must reduce the speedup"
+        )

@@ -1,0 +1,54 @@
+"""Figure 8 — PBKS's speedup to BKS, type-B score computation.
+
+Thread sweep for the motif-based metric family (triangles/triplets).
+Paper shape: ~15-25x at 40 threads — lower than type-A because
+higher-order motif counting parallelizes less cleanly.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.stats import ascii_series
+
+from common import (
+    FIGURE_DATASETS,
+    THREADS,
+    TYPE_B_METRIC,
+    emit,
+    paper_table,
+)
+
+
+def _series(lab):
+    rows = []
+    for abbr in FIGURE_DATASETS:
+        bks = lab.bks_time(abbr, TYPE_B_METRIC)
+        series = [
+            bks / lab.pbks_time(abbr, TYPE_B_METRIC, p) for p in THREADS
+        ]
+        rows.append(
+            [abbr]
+            + [f"{x:.1f}" for x in series]
+            + [ascii_series(series)]
+        )
+    return rows
+
+
+def test_fig8_typeb_score_speedup(lab, benchmark):
+    rows = benchmark.pedantic(_series, args=(lab,), rounds=1, iterations=1)
+    text = paper_table(
+        ["DS"] + [f"p={p}" for p in THREADS] + ["curve"],
+        rows,
+        title="Figure 8 — PBKS's speedup to BKS (type-B score computation)",
+    )
+    emit("fig8_typeb_speedup", text)
+    for abbr, row in zip(FIGURE_DATASETS, rows):
+        series = [float(x) for x in row[1:-1]]
+        assert series[-1] == max(series), f"{abbr}: 40 threads fastest"
+        assert series[-1] > 4.0, f"{abbr}: type-B speedup too low"
+        # type-B ceiling sits below this dataset's type-A ceiling
+        from common import TYPE_A_METRIC
+
+        type_a = lab.bks_time(abbr, TYPE_A_METRIC) / lab.pbks_time(
+            abbr, TYPE_A_METRIC, 40
+        )
+        assert series[-1] < type_a, f"{abbr}: type-B must trail type-A"

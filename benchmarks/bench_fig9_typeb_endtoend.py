@@ -1,0 +1,61 @@
+"""Figure 9 — end-to-end type-B speedup, inputs included.
+
+(PKC + PHCD + preprocessing + PBKS) vs (BZ + LCPS + BKS) for the
+motif-based metrics.  Paper shape: closer to Figure 8 than Figure 7 is
+to Figure 6, because type-B score computation dominates the pipeline
+("we achieve a better speedup on harder cases").
+"""
+
+from __future__ import annotations
+
+from repro.analysis.stats import ascii_series
+
+from common import (
+    FIGURE_DATASETS,
+    THREADS,
+    TYPE_A_METRIC,
+    TYPE_B_METRIC,
+    emit,
+    paper_table,
+)
+
+
+def _series(lab):
+    rows = []
+    for abbr in FIGURE_DATASETS:
+        serial = lab.serial_stack_search(abbr, TYPE_B_METRIC)
+        series = [
+            serial / lab.parallel_stack_search(abbr, TYPE_B_METRIC, p)
+            for p in THREADS
+        ]
+        rows.append(
+            [abbr]
+            + [f"{x:.2f}" for x in series]
+            + [ascii_series(series)]
+        )
+    return rows
+
+
+def test_fig9_typeb_endtoend_speedup(lab, benchmark):
+    rows = benchmark.pedantic(_series, args=(lab,), rounds=1, iterations=1)
+    text = paper_table(
+        ["DS"] + [f"p={p}" for p in THREADS] + ["curve"],
+        rows,
+        title="Figure 9 — (PKC+PHCD+PBKS) speedup to (BZ+LCPS+BKS), type-B",
+    )
+    emit("fig9_typeb_endtoend", text)
+    for abbr, row in zip(FIGURE_DATASETS, rows):
+        end_b = float(row[-2])
+        score_b = lab.bks_time(abbr, TYPE_B_METRIC) / lab.pbks_time(
+            abbr, TYPE_B_METRIC, 40
+        )
+        end_a = lab.serial_stack_search(
+            abbr, TYPE_A_METRIC
+        ) / lab.parallel_stack_search(abbr, TYPE_A_METRIC, 40)
+        assert end_b > 2.0, abbr
+        # end-to-end type-B retains more of its score-only speedup than
+        # type-A does (the "harder cases" claim)
+        assert end_b / score_b > 0.5 * end_a / (
+            lab.bks_time(abbr, TYPE_A_METRIC)
+            / lab.pbks_time(abbr, TYPE_A_METRIC, 40)
+        ), abbr

@@ -1,0 +1,57 @@
+"""Table II — statistics of the dataset stand-ins vs the paper.
+
+Regenerates the paper's dataset-statistics table for the ten synthetic
+stand-ins: n, m, average degree, kmax, and the number of HCD tree nodes
+|T|, side by side with the real datasets' published values.  The
+reproduction target is the *relative* structure: ascending m order,
+which datasets are deep (web crawls) vs shallow (social), and which
+have many vs few tree nodes.
+"""
+
+from __future__ import annotations
+
+from common import ALL_DATASETS, emit, paper_table
+
+
+def _rows(lab):
+    rows = []
+    for abbr in ALL_DATASETS:
+        b = lab.bundle(abbr)
+        stats = b.dataset.paper_stats()
+        rows.append(
+            [
+                abbr,
+                b.graph.num_vertices,
+                b.graph.num_edges,
+                f"{b.graph.average_degree():.1f}",
+                b.dataset.kmax,
+                b.hcd.num_nodes,
+                f"{int(stats['n']):,}",
+                f"{int(stats['m']):,}",
+                f"{stats['davg']:.1f}",
+                int(stats["kmax"]),
+                int(stats["T"]),
+            ]
+        )
+    return rows
+
+
+def test_table2_dataset_statistics(lab, benchmark):
+    rows = benchmark.pedantic(_rows, args=(lab,), rounds=1, iterations=1)
+    text = paper_table(
+        [
+            "DS", "n", "m", "davg", "kmax", "|T|",
+            "paper n", "paper m", "paper davg", "paper kmax", "paper |T|",
+        ],
+        rows,
+        title="Table II — dataset statistics (stand-in vs paper)",
+    )
+    emit("table2_datasets", text)
+    # structural assertions: ascending m, web crawls have largest |T|
+    ms = [r[2] for r in rows]
+    assert ms == sorted(ms)
+    t_by_abbr = {r[0]: r[5] for r in rows}
+    assert t_by_abbr["O"] == min(t_by_abbr.values())
+    assert t_by_abbr["UK"] == max(
+        t_by_abbr[a] for a in ("AS", "LJ", "H", "O", "HJ", "FS", "UK")
+    )

@@ -1,0 +1,62 @@
+"""Table III — time cost of HCD construction.
+
+Reproduces the paper's Table III on the stand-ins:
+
+* ``PHCD (s)`` at 1 core, with the LB and LCPS columns expressed as
+  PHCD's *relative speedup* to them (paper convention: ``LB`` < 1 means
+  the union-find lower bound is faster; ``LCPS`` > 1 means PHCD beats
+  the serial state of the art);
+* ``PHCD (s)`` at 40 cores, with LB and RC columns.
+
+Paper bands to reproduce: serial PHCD 1.24-2.33x faster than LCPS;
+LB/PHCD around 0.3-0.55 serially and 0.28-0.77 at 40 cores; RC 4-125x
+slower than PHCD at 40 cores.
+"""
+
+from __future__ import annotations
+
+from common import ALL_DATASETS, emit, paper_table, sim_seconds
+
+
+def _rows(lab):
+    rows = []
+    for abbr in ALL_DATASETS:
+        phcd1 = lab.phcd_time(abbr, 1)
+        phcd40 = lab.phcd_time(abbr, 40)
+        lcps = lab.lcps_time(abbr)
+        lb1 = lab.lb_time(abbr, 1)
+        lb40 = lab.lb_time(abbr, 40)
+        rc40 = lab.rc_time(abbr, 40)
+        rows.append(
+            [
+                abbr,
+                f"{sim_seconds(phcd1):.3f}",
+                f"{lb1 / phcd1:.2f}x",
+                f"{lcps / phcd1:.2f}x",
+                f"{sim_seconds(phcd40):.3f}",
+                f"{lb40 / phcd40:.2f}x",
+                f"{rc40 / phcd40:.2f}x",
+            ]
+        )
+    return rows
+
+
+def test_table3_hcd_construction(lab, benchmark):
+    rows = benchmark.pedantic(_rows, args=(lab,), rounds=1, iterations=1)
+    text = paper_table(
+        ["DS", "PHCD(1) s", "LB(1)", "LCPS(1)", "PHCD(40) s", "LB(40)", "RC(40)"],
+        rows,
+        title=(
+            "Table III — HCD construction cost "
+            "(LB/LCPS/RC columns are PHCD's relative speedup)"
+        ),
+    )
+    emit("table3_construction", text)
+    for row in rows:
+        lcps_ratio = float(row[3].rstrip("x"))
+        lb1_ratio = float(row[2].rstrip("x"))
+        rc_ratio = float(row[6].rstrip("x"))
+        # shape assertions (paper bands, with simulator slack)
+        assert lcps_ratio > 1.0, f"{row[0]}: serial PHCD must beat LCPS"
+        assert lb1_ratio < 1.0, f"{row[0]}: LB must lower-bound PHCD"
+        assert rc_ratio > 1.5, f"{row[0]}: RC must be clearly slower"

@@ -1,0 +1,56 @@
+"""Table V — runtime of subgraph search (PBKS vs serial BKS).
+
+For every dataset and both metric families: the 40-core PBKS score-
+computation time in (simulated) seconds, and its relative speedup over
+the serial BKS.  Paper bands: 20-50x for type-A, 15-25x for type-B.
+"""
+
+from __future__ import annotations
+
+from common import (
+    ALL_DATASETS,
+    TYPE_A_METRIC,
+    TYPE_B_METRIC,
+    emit,
+    paper_table,
+    sim_seconds,
+)
+
+
+def _rows(lab):
+    rows = []
+    for abbr in ALL_DATASETS:
+        pbks_a = lab.pbks_time(abbr, TYPE_A_METRIC, 40)
+        pbks_b = lab.pbks_time(abbr, TYPE_B_METRIC, 40)
+        bks_a = lab.bks_time(abbr, TYPE_A_METRIC)
+        bks_b = lab.bks_time(abbr, TYPE_B_METRIC)
+        rows.append(
+            [
+                abbr,
+                f"{sim_seconds(pbks_a):.4f}",
+                f"{bks_a / pbks_a:.2f}x",
+                f"{sim_seconds(pbks_b):.4f}",
+                f"{bks_b / pbks_b:.2f}x",
+            ]
+        )
+    return rows
+
+
+def test_table5_subgraph_search_runtime(lab, benchmark):
+    rows = benchmark.pedantic(_rows, args=(lab,), rounds=1, iterations=1)
+    text = paper_table(
+        ["DS", "Type-A (40) s", "Type-A (1)", "Type-B (40) s", "Type-B (1)"],
+        rows,
+        title=(
+            "Table V — subgraph search runtime "
+            "((1) columns: PBKS's speedup over serial BKS)"
+        ),
+    )
+    emit("table5_search", text)
+    for row in rows:
+        speedup_a = float(row[2].rstrip("x"))
+        speedup_b = float(row[4].rstrip("x"))
+        assert speedup_a > 5.0, f"{row[0]}: type-A speedup too low"
+        assert speedup_b > 3.0, f"{row[0]}: type-B speedup too low"
+        # type-B work (O(m^1.5)) dwarfs type-A (O(n)) in absolute time
+        assert float(row[3]) > float(row[1]), row[0]

@@ -1,0 +1,23 @@
+"""Benchmark fixtures: the shared measurement lab."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from common import shared_lab  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def lab():
+    """Session-wide memoized measurement lab."""
+    return shared_lab()
+
+
+def pytest_configure(config):
+    # benchmarks print paper-style tables; keep output visible
+    config.option.verbose = max(config.option.verbose, 0)

@@ -1,0 +1,65 @@
+"""Sweep every community scoring metric, then register a custom one.
+
+PBKS evaluates any metric defined over the primary values
+(n, m, boundary edges, triangles, triplets).  This example scores the
+hollywood-like stand-in under all six paper metrics — sharing one
+preprocessing pass, as the paper prescribes — and then defines a new
+metric ("triangle density") that works unchanged.
+
+Run:  python examples/community_metrics.py
+"""
+
+from repro import SimulatedPool, decompose, register_metric
+from repro.analysis.datasets import load
+from repro.search.metrics import metric_names
+from repro.search.pbks import pbks_search
+from repro.search.preprocessing import preprocess_neighbor_counts
+
+
+def main() -> None:
+    dataset = load("H")
+    graph = dataset.graph
+    print(
+        f"dataset {dataset.abbrev}: n={graph.num_vertices}, "
+        f"m={graph.num_edges}, kmax={dataset.kmax}"
+    )
+    deco = decompose(graph, threads=8)
+
+    pool = SimulatedPool(threads=8)
+    counts = preprocess_neighbor_counts(graph, dataset.coreness, pool)
+
+    print(f"\n{'metric':28}{'best k':>8}{'score':>12}{'|S|':>8}")
+    for name in metric_names():
+        result = pbks_search(
+            graph, dataset.coreness, deco.hcd, name, pool, counts=counts
+        )
+        print(
+            f"{name:28}{result.best_k:>8}{result.best_score:>12.4f}"
+            f"{result.best_members().size:>8}"
+        )
+
+    # A user-defined type-B metric: triangles per possible triple.
+    register_metric(
+        "triangle_density",
+        "B",
+        lambda v, totals: (
+            6.0 * v.triangles / (v.n * (v.n - 1) * (v.n - 2))
+            if v.n >= 3
+            else 0.0
+        ),
+    )
+    result = pbks_search(
+        graph, dataset.coreness, deco.hcd, "triangle_density", pool, counts=counts
+    )
+    print(
+        f"{'triangle_density (custom)':28}{result.best_k:>8}"
+        f"{result.best_score:>12.4f}{result.best_members().size:>8}"
+    )
+    print(
+        "\ncustom metrics over the primary values run through the same "
+        "work-efficient PBKS kernels — no new algorithm code required."
+    )
+
+
+if __name__ == "__main__":
+    main()

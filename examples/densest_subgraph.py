@@ -1,0 +1,88 @@
+"""Densest subgraph & maximum clique — the paper's flagship application.
+
+Plants a dense community inside a sparse social-style background, then
+compares four solvers on it:
+
+* CoreApp   — the kmax-core heuristic (0.5-approximation baseline);
+* Opt-D     — the serial BKS-based optimum over all k-cores;
+* PBKS-D    — the paper's parallel search (same answer, much faster);
+* exact     — Goldberg's flow-based optimum over *all* subgraphs.
+
+Also demonstrates the Table IV observation that the maximum clique
+lives inside PBKS-D's output, making it a strong pruning step.
+
+Run:  python examples/densest_subgraph.py
+"""
+
+import numpy as np
+
+from repro import SimulatedPool, decompose
+from repro.graph.generators import barabasi_albert
+from repro.graph.graph import Graph
+from repro.search.clique import maximum_clique
+from repro.search.coreapp import coreapp_densest
+from repro.search.densest import exact_densest, optd_densest, pbks_densest
+
+
+def planted_graph(seed: int = 7) -> Graph:
+    """A BA background with a hidden K12 planted on random vertices."""
+    base = barabasi_albert(400, 3, seed=seed)
+    rng = np.random.default_rng(seed)
+    chosen = rng.choice(base.num_vertices, size=12, replace=False)
+    edges = list(base.edges())
+    edges += [
+        (int(chosen[i]), int(chosen[j]))
+        for i in range(12)
+        for j in range(i + 1, 12)
+    ]
+    return Graph.from_edges(edges, num_vertices=base.num_vertices)
+
+
+def main() -> None:
+    graph = planted_graph()
+    print(f"graph: n={graph.num_vertices}, m={graph.num_edges}")
+    deco = decompose(graph, threads=4)
+
+    pool = SimulatedPool(threads=1)
+    ca = coreapp_densest(graph, pool)
+    print(
+        f"\nCoreApp  : avg degree {ca.average_degree:8.3f}  "
+        f"|S|={ca.size:4d}  sim time {pool.clock:10.0f}"
+    )
+
+    pool = SimulatedPool(threads=1)
+    od = optd_densest(graph, deco.coreness, deco.hcd, pool)
+    print(
+        f"Opt-D    : avg degree {od.average_degree:8.3f}  "
+        f"|S|={od.size:4d}  sim time {pool.clock:10.0f}"
+    )
+
+    pool = SimulatedPool(threads=40)
+    pd = pbks_densest(graph, deco.coreness, deco.hcd, pool)
+    print(
+        f"PBKS-D   : avg degree {pd.average_degree:8.3f}  "
+        f"|S|={pd.size:4d}  sim time {pool.clock:10.0f}  (40 threads)"
+    )
+
+    exact = exact_densest(graph)
+    print(f"exact    : avg degree {exact.average_degree:8.3f}  |S|={exact.size:4d}")
+
+    ratio = pd.average_degree / exact.average_degree
+    print(f"\nPBKS-D achieves {100 * ratio:.1f}% of the exact optimum")
+    assert ratio >= 0.5, "0.5-approximation guarantee violated!"
+
+    mc = maximum_clique(graph)
+    inside = set(mc.tolist()) <= set(pd.members.tolist())
+    print(
+        f"maximum clique: size {mc.size}; contained in PBKS-D's subgraph: "
+        f"{'yes' if inside else 'no'}"
+    )
+    print(
+        f"S* holds {pd.size} of {graph.num_vertices} vertices "
+        f"({100 * pd.size / graph.num_vertices:.2f}%) — clique search can "
+        "be pruned to it"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""k-edge-connected components (Section VI extension).
+
+Builds a graph of dense groups joined by thin bridges and walks its
+k-ECC hierarchy: each level strips away connections that fewer than k
+edge-disjoint paths support — a robustness-oriented notion of
+community that complements k-core (degree) and k-truss (triangles).
+
+Run:  python examples/ecc_communities.py
+"""
+
+import numpy as np
+
+from repro.ecc import ecc_decomposition, k_edge_connected_components
+from repro.graph.generators import complete_graph
+from repro.graph.graph import Graph
+
+
+def bridged_groups() -> Graph:
+    """Three cliques: two joined by a 2-edge band, one by a single bridge."""
+    edges = list(complete_graph(5).edges())                        # A: 0-4
+    edges += [(u + 5, v + 5) for u, v in complete_graph(5).edges()]   # B: 5-9
+    edges += [(u + 10, v + 10) for u, v in complete_graph(4).edges()]  # C: 10-13
+    edges += [(0, 5), (1, 6)]   # A=B double band (2-edge-connected)
+    edges += [(9, 10)]          # B-C single bridge
+    return Graph.from_edges(edges)
+
+
+def main() -> None:
+    graph = bridged_groups()
+    print(f"graph: n={graph.num_vertices}, m={graph.num_edges}")
+
+    for k in (1, 2, 3, 4):
+        comps = [c for c in k_edge_connected_components(graph, k) if len(c) > 1]
+        print(f"k={k}: {len(comps)} non-trivial {k}-ECC(s): {comps}")
+
+    hierarchy = ecc_decomposition(graph)
+    print("\nhierarchy nodes (connectivity, members):")
+    for (value, members), parent in zip(hierarchy.nodes, hierarchy.parents):
+        pa = "root" if parent < 0 else f"child of value-{hierarchy.nodes[parent][0]}"
+        print(f"  lambda={value}: {sorted(members)} ({pa})")
+
+    print("\nper-vertex connectivity numbers:")
+    print(" ", np.asarray(hierarchy.connectivity))
+    print(
+        "\nthe single bridge (9-10) caps C's membership at lambda=1, while "
+        "the double band keeps A and B together up to lambda=2 — exactly "
+        "the robustness distinctions degree-based cores cannot make."
+    )
+
+
+if __name__ == "__main__":
+    main()

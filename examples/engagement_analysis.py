@@ -1,0 +1,56 @@
+"""User-engagement analysis on the core hierarchy.
+
+Reproduces the paper's motivating application: a user's coreness
+predicts their engagement, and the prediction sharpens when the user's
+*position in the HCD* is also considered (Lin et al., PVLDB'21).
+
+Run:  python examples/engagement_analysis.py
+"""
+
+from repro import decompose
+from repro.analysis.datasets import load
+from repro.analysis.engagement import EngagementStudy
+
+
+def main() -> None:
+    dataset = load("UK")  # the web-crawl stand-in (deepest hierarchy)
+    graph = dataset.graph
+    print(
+        f"dataset {dataset.abbrev}: n={graph.num_vertices}, "
+        f"m={graph.num_edges}, kmax={dataset.kmax}"
+    )
+
+    deco = decompose(graph, threads=4)
+    study = EngagementStudy.run(dataset.coreness, deco.hcd, seed=42)
+
+    print(
+        f"\nPearson correlation(coreness, engagement) = "
+        f"{study.coreness_correlation:.3f}"
+    )
+    print("\nmean engagement per k-shell (coreness -> engagement):")
+    for k in sorted(study.by_coreness):
+        bar = "#" * int(study.by_coreness[k])
+        print(f"  k={k:3d}: {study.by_coreness[k]:7.2f} {bar}")
+
+    print(
+        "\nwithin-shell refinement by hierarchy depth "
+        "(coreness, depth) -> engagement:"
+    )
+    shown = 0
+    for (k, depth) in sorted(study.by_position):
+        print(f"  (k={k:3d}, depth={depth:2d}): {study.by_position[(k, depth)]:7.2f}")
+        shown += 1
+        if shown >= 12:
+            print(f"  ... ({len(study.by_position)} cells total)")
+            break
+
+    print(
+        f"\nestimating engagement from (coreness, HCD depth) instead of "
+        f"coreness alone reduces mean absolute error by "
+        f"{study.position_gain:.4f} — the hierarchy position carries "
+        "signal, as the paper reports."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Anchored k-core: spending an engagement budget wisely.
+
+The paper's engagement story: users at the k-core's fringe leave when
+their in-community degree drops below k, and departures cascade.
+*Anchoring* a user (a perk that keeps them engaged unconditionally)
+can retain whole chains of followers.  This example builds a
+social-style graph with fragile chains around a stable nucleus and
+spends a small anchor budget greedily.
+
+Run:  python examples/engagement_anchoring.py
+"""
+
+import numpy as np
+
+from repro.graph.generators import barabasi_albert
+from repro.graph.graph import Graph
+from repro.search.anchoring import anchored_k_core, greedy_anchors
+
+K = 3
+
+
+def fragile_graph(seed: int = 5) -> Graph:
+    """A BA nucleus with chains of nearly-retained users attached."""
+    base = barabasi_albert(120, 3, seed=seed)
+    rng = np.random.default_rng(seed)
+    edges = list(base.edges())
+    next_id = base.num_vertices
+    # chains whose members each have k-1 in-chain links + one into the
+    # nucleus: one anchor at the end retains the whole chain at k=3
+    for _ in range(6):
+        length = int(rng.integers(3, 6))
+        chain = list(range(next_id, next_id + length))
+        next_id += length
+        for a, b in zip(chain, chain[1:]):
+            edges.append((a, b))
+        # one nucleus link per member: chain middles then sit at exactly
+        # degree 3, so the chain lives or dies with its exposed end
+        for member in chain:
+            edges.append((member, int(rng.integers(0, 60))))
+    return Graph.from_edges(edges, num_vertices=next_id)
+
+
+def main() -> None:
+    graph = fragile_graph()
+    print(f"graph: n={graph.num_vertices}, m={graph.num_edges}")
+
+    plain = anchored_k_core(graph, K)
+    print(f"plain {K}-core: {plain.size} members")
+
+    for budget in (1, 2, 4):
+        result = greedy_anchors(graph, K, budget=budget)
+        print(
+            f"budget {budget}: anchors={result.anchors} "
+            f"gains={result.gains} -> {result.members.size} members "
+            f"(+{result.total_gain})"
+        )
+
+    result = greedy_anchors(graph, K, budget=4)
+    if result.anchors:
+        per_anchor = result.total_gain / len(result.anchors)
+        print(
+            f"\neach anchor retained {per_anchor:.1f} users on average — "
+            "the cascade effect the anchored-coreness literature exploits."
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""Influential community search on the HCD (Section VI extension).
+
+Assigns synthetic influence weights (a PageRank-like activity score)
+to a social-network stand-in, builds the influential-community index
+in one pass over the hierarchy, then answers several (k, r) queries
+without touching the graph again.
+
+Run:  python examples/influential_communities.py
+"""
+
+import numpy as np
+
+from repro import InfluentialCommunityIndex, SimulatedPool, decompose
+from repro.analysis.datasets import load
+
+
+def main() -> None:
+    dataset = load("LJ")
+    graph = dataset.graph
+    print(
+        f"dataset {dataset.abbrev}: n={graph.num_vertices}, "
+        f"m={graph.num_edges}, kmax={dataset.kmax}"
+    )
+    deco = decompose(graph, threads=4)
+
+    # Influence proxy: degree-weighted activity with noise, so dense
+    # regions tend to hold influential users but not uniformly.
+    rng = np.random.default_rng(7)
+    weights = graph.degrees() * (0.5 + rng.random(graph.num_vertices))
+
+    pool = SimulatedPool(threads=4)
+    index = InfluentialCommunityIndex(deco.hcd, weights, pool)
+    print(f"index built (simulated time {pool.clock:.0f})\n")
+
+    for k in (2, 4, 8):
+        print(f"top-3 influential {k}-cores:")
+        for answer in index.top_r(k, 3):
+            members = index.members(answer)
+            print(
+                f"  influence={answer.influence:8.2f}  |S|={answer.size:5d}  "
+                f"sample={members[:6].tolist()}"
+            )
+        print()
+
+    print(
+        "queries run entirely on the index — the HCD compresses the "
+        "k-core hierarchy into O(n) space, as the paper's 'Efficient "
+        "Subgraph Index' extension describes."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""Analysis layer: dataset stand-ins, engagement study, visualization."""
+
+from repro.analysis.datasets import (
+    PAPER_STATS,
+    Dataset,
+    DatasetSpec,
+    clear_cache,
+    dataset_abbrevs,
+    dataset_names,
+    get_spec,
+    load,
+)
+from repro.analysis.engagement import (
+    EngagementStudy,
+    mean_engagement_by_coreness,
+    mean_engagement_by_position,
+    pearson_correlation,
+    synthesize_engagement,
+)
+from repro.analysis.report import analysis_report
+from repro.analysis.stats import ascii_series, format_table, geometric_mean, speedup
+from repro.analysis.visualization import ascii_tree, hierarchy_summary, to_dot
+
+__all__ = [
+    "Dataset",
+    "DatasetSpec",
+    "dataset_names",
+    "dataset_abbrevs",
+    "get_spec",
+    "load",
+    "clear_cache",
+    "PAPER_STATS",
+    "EngagementStudy",
+    "synthesize_engagement",
+    "mean_engagement_by_coreness",
+    "mean_engagement_by_position",
+    "pearson_correlation",
+    "ascii_tree",
+    "to_dot",
+    "hierarchy_summary",
+    "format_table",
+    "geometric_mean",
+    "speedup",
+    "ascii_series",
+    "analysis_report",
+]

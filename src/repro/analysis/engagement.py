@@ -1,0 +1,146 @@
+"""User-engagement analysis on the core hierarchy.
+
+One of the paper's motivating applications (Section I): a user's
+coreness estimates their engagement level, and the estimate improves
+when the user's *position in the HCD* is also considered (Lin et al.,
+PVLDB'21).  This module provides the study pipeline on synthetic
+engagement signals:
+
+* :func:`synthesize_engagement` draws a per-vertex engagement value
+  (e.g. "number of check-ins") whose mean grows with coreness and with
+  the vertex's depth in the HCD, plus noise — the generative model the
+  empirical studies report;
+* :func:`mean_engagement_by_coreness` reproduces the classic positive
+  coreness/engagement correlation;
+* :func:`mean_engagement_by_position` shows the refinement: within a
+  fixed coreness, engagement still varies with HCD depth, so hierarchy
+  position carries signal coreness alone misses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.hcd import HCD
+
+__all__ = [
+    "EngagementStudy",
+    "synthesize_engagement",
+    "mean_engagement_by_coreness",
+    "mean_engagement_by_position",
+    "pearson_correlation",
+]
+
+
+def synthesize_engagement(
+    coreness: np.ndarray,
+    hcd: HCD | None = None,
+    base: float = 2.0,
+    coreness_weight: float = 1.5,
+    depth_weight: float = 0.8,
+    noise: float = 1.0,
+    seed: int = 0,
+) -> np.ndarray:
+    """Per-vertex synthetic engagement values.
+
+    ``engagement(v) = base + coreness_weight * c(v)
+    + depth_weight * depth(tid(v)) + Gaussian(0, noise)``, clipped at 0.
+    """
+    coreness = np.asarray(coreness, dtype=np.float64)
+    rng = np.random.default_rng(seed)
+    values = base + coreness_weight * coreness
+    if hcd is not None and hcd.num_nodes:
+        depths = hcd.depths()
+        values = values + depth_weight * depths[hcd.tid].astype(np.float64)
+    values = values + rng.normal(0.0, noise, size=coreness.size)
+    return np.maximum(values, 0.0)
+
+
+def mean_engagement_by_coreness(
+    coreness: np.ndarray, engagement: np.ndarray
+) -> dict[int, float]:
+    """Mean engagement of the vertices in each k-shell."""
+    coreness = np.asarray(coreness, dtype=np.int64)
+    engagement = np.asarray(engagement, dtype=np.float64)
+    out: dict[int, float] = {}
+    for k in np.unique(coreness):
+        members = coreness == k
+        out[int(k)] = float(engagement[members].mean())
+    return out
+
+
+def mean_engagement_by_position(
+    coreness: np.ndarray, hcd: HCD, engagement: np.ndarray
+) -> dict[tuple[int, int], float]:
+    """Mean engagement keyed by ``(coreness, HCD depth)``.
+
+    Splitting each shell by hierarchy depth exposes the within-shell
+    variation that position-aware engagement estimation exploits.
+    """
+    coreness = np.asarray(coreness, dtype=np.int64)
+    engagement = np.asarray(engagement, dtype=np.float64)
+    depths = hcd.depths()
+    out: dict[tuple[int, int], float] = {}
+    vertex_depth = depths[hcd.tid]
+    for k in np.unique(coreness):
+        for d in np.unique(vertex_depth[coreness == k]):
+            members = (coreness == k) & (vertex_depth == d)
+            out[(int(k), int(d))] = float(engagement[members].mean())
+    return out
+
+
+def pearson_correlation(x: np.ndarray, y: np.ndarray) -> float:
+    """Pearson correlation coefficient (0.0 for degenerate inputs)."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.size < 2 or float(x.std()) == 0.0 or float(y.std()) == 0.0:
+        return 0.0
+    return float(np.corrcoef(x, y)[0, 1])
+
+
+@dataclass
+class EngagementStudy:
+    """Bundle of the engagement-analysis outputs for one graph."""
+
+    engagement: np.ndarray
+    by_coreness: dict[int, float]
+    by_position: dict[tuple[int, int], float]
+    coreness_correlation: float
+    position_gain: float
+
+    @classmethod
+    def run(
+        cls,
+        coreness: np.ndarray,
+        hcd: HCD,
+        seed: int = 0,
+    ) -> "EngagementStudy":
+        """Full study: synthesize, aggregate, and quantify the gain.
+
+        ``position_gain`` is the reduction in mean absolute estimation
+        error when predicting engagement by (coreness, depth) cell
+        means instead of coreness-only cell means — positive when the
+        hierarchy refines the estimate, as the paper reports.
+        """
+        coreness = np.asarray(coreness, dtype=np.int64)
+        engagement = synthesize_engagement(coreness, hcd, seed=seed)
+        by_core = mean_engagement_by_coreness(coreness, engagement)
+        by_pos = mean_engagement_by_position(coreness, hcd, engagement)
+        pred_core = np.asarray([by_core[int(k)] for k in coreness])
+        depths = hcd.depths()[hcd.tid]
+        pred_pos = np.asarray(
+            [by_pos[(int(k), int(d))] for k, d in zip(coreness, depths)]
+        )
+        err_core = float(np.abs(engagement - pred_core).mean())
+        err_pos = float(np.abs(engagement - pred_pos).mean())
+        return cls(
+            engagement=engagement,
+            by_coreness=by_core,
+            by_position=by_pos,
+            coreness_correlation=pearson_correlation(
+                coreness.astype(np.float64), engagement
+            ),
+            position_gain=err_core - err_pos,
+        )

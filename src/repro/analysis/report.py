@@ -1,0 +1,88 @@
+"""One-shot textual analysis report for a graph.
+
+Bundles what a practitioner looks at first: size statistics, the
+coreness profile, the hierarchy's shape, the best community under each
+registered metric, and the densest-core summary — rendered as plain
+text for terminals and logs.  Used by ``python -m repro report``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.stats import format_table
+from repro.analysis.visualization import hierarchy_summary
+from repro.graph.graph import Graph
+from repro.parallel.scheduler import SimulatedPool
+from repro.pipeline import decompose
+from repro.search.densest import pbks_densest
+from repro.search.metrics import metric_names
+from repro.search.pbks import pbks_search
+from repro.search.preprocessing import preprocess_neighbor_counts
+
+__all__ = ["analysis_report"]
+
+
+def analysis_report(
+    graph: Graph,
+    threads: int = 4,
+    metrics: list[str] | None = None,
+) -> str:
+    """Render the full analysis report for ``graph``.
+
+    ``metrics`` defaults to every registered community metric; the
+    preprocessing pass is shared across all of them.
+    """
+    deco = decompose(graph, threads=threads)
+    coreness = deco.coreness
+    hcd = deco.hcd
+    lines: list[str] = []
+
+    lines.append("== graph ==")
+    lines.append(f"vertices       : {graph.num_vertices}")
+    lines.append(f"edges          : {graph.num_edges}")
+    lines.append(f"average degree : {graph.average_degree():.2f}")
+    kmax = int(coreness.max()) if graph.num_vertices else 0
+    lines.append(f"kmax           : {kmax}")
+    lines.append("")
+
+    lines.append("== coreness profile ==")
+    if graph.num_vertices:
+        hist = np.bincount(coreness)
+        for k, count in enumerate(hist):
+            if count:
+                bar = "#" * min(int(60 * count / hist.max()), 60)
+                lines.append(f"  k={k:4d}: {count:6d} {bar}")
+    lines.append("")
+
+    lines.append("== hierarchy ==")
+    lines.append(hierarchy_summary(hcd))
+    lines.append("")
+
+    lines.append("== best community per metric ==")
+    pool = SimulatedPool(threads=threads)
+    counts = preprocess_neighbor_counts(graph, coreness, pool)
+    rows = []
+    for name in metrics or metric_names():
+        result = pbks_search(
+            graph, coreness, hcd, name, pool,
+            counts=counts, rank_result=deco.rank_result,
+        )
+        rows.append(
+            [
+                name,
+                result.best_k,
+                f"{result.best_score:.4f}",
+                result.best_members().size,
+            ]
+        )
+    lines.append(format_table(["metric", "best k", "score", "|S|"], rows))
+    lines.append("")
+
+    lines.append("== densest core (PBKS-D) ==")
+    dens = pbks_densest(graph, coreness, hcd, pool, counts=counts)
+    lines.append(
+        f"average degree {dens.average_degree:.3f} over {dens.size} vertices "
+        f"({100 * dens.size / max(graph.num_vertices, 1):.2f}% of the graph)"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,93 @@
+"""Rendering the HCD for humans: ASCII trees and Graphviz DOT.
+
+Graph visualization is one of the paper's motivating applications: the
+hierarchy of k-cores is itself an elegant summary of a network.  These
+renderers keep that spirit without a plotting dependency — an indented
+ASCII forest for terminals, and a DOT document for external tooling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.hcd import HCD
+
+__all__ = ["ascii_tree", "to_dot", "hierarchy_summary"]
+
+
+def _node_label(hcd: HCD, node: int, max_vertices: int) -> str:
+    verts = hcd.vertices_of(node)
+    shown = ", ".join(str(int(v)) for v in verts[:max_vertices])
+    if verts.size > max_vertices:
+        shown += f", ... ({verts.size} total)"
+    return f"k={int(hcd.node_coreness[node])} [{shown}]"
+
+
+def ascii_tree(hcd: HCD, max_vertices: int = 8) -> str:
+    """Indented forest rendering, roots first, children by coreness.
+
+    Each line shows a tree node's coreness and (a prefix of) its
+    vertex set, mirroring Figure 1(c) of the paper.
+    """
+    lines: list[str] = []
+
+    def render(node: int, prefix: str, is_last: bool) -> None:
+        connector = "`-- " if is_last else "|-- "
+        lines.append(prefix + connector + _node_label(hcd, node, max_vertices))
+        child_prefix = prefix + ("    " if is_last else "|   ")
+        children = sorted(
+            hcd.children[node], key=lambda c: (int(hcd.node_coreness[c]), c)
+        )
+        for i, child in enumerate(children):
+            render(child, child_prefix, i == len(children) - 1)
+
+    roots = sorted(
+        hcd.roots(), key=lambda r: (int(hcd.node_coreness[r]), r)
+    )
+    for root in roots:
+        lines.append(_node_label(hcd, root, max_vertices))
+        children = sorted(
+            hcd.children[root], key=lambda c: (int(hcd.node_coreness[c]), c)
+        )
+        for i, child in enumerate(children):
+            render(child, "", i == len(children) - 1)
+    return "\n".join(lines)
+
+
+def to_dot(hcd: HCD, name: str = "hcd") -> str:
+    """Graphviz DOT document of the forest (one box per tree node)."""
+    lines = [f"digraph {name} {{", "  rankdir=BT;", "  node [shape=box];"]
+    for node in range(hcd.num_nodes):
+        size = int(hcd.vertices_of(node).size)
+        lines.append(
+            f'  t{node} [label="T{node}\\nk={int(hcd.node_coreness[node])}'
+            f'\\n|V|={size}"];'
+        )
+    for node in range(hcd.num_nodes):
+        pa = int(hcd.parent[node])
+        if pa >= 0:
+            lines.append(f"  t{node} -> t{pa};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def hierarchy_summary(hcd: HCD) -> str:
+    """Multi-line textual summary: node counts per level, depth, widths."""
+    if hcd.num_nodes == 0:
+        return "empty hierarchy"
+    stats = hcd.stats()
+    per_level = np.bincount(
+        hcd.node_coreness, minlength=int(hcd.node_coreness.max()) + 1
+    )
+    lines = [
+        f"tree nodes : {stats.num_nodes}",
+        f"roots      : {stats.num_roots}",
+        f"max depth  : {stats.max_depth}",
+        f"kmax       : {stats.kmax}",
+        f"largest |V|: {stats.largest_node}",
+        "nodes per coreness level:",
+    ]
+    for k, count in enumerate(per_level):
+        if count:
+            lines.append(f"  k={k:4d}: {'#' * min(int(count), 60)} {int(count)}")
+    return "\n".join(lines)

@@ -1,0 +1,192 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands
+-----------
+``stats``      graph statistics + Table-II-style row
+``decompose``  coreness histogram and the HCD forest
+``search``     best k-core under a community metric
+``bestk``      best k for whole k-core sets (Section VI)
+``report``     full analysis report (profile, hierarchy, best cores)
+``datasets``   list the built-in dataset stand-ins
+
+Graphs come either from an edge-list file (``--input``) or a built-in
+stand-in (``--dataset AS|LJ|...``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+import numpy as np
+
+from repro.analysis.datasets import dataset_names, get_spec, load
+from repro.analysis.visualization import ascii_tree, hierarchy_summary
+from repro.graph.graph import Graph
+from repro.graph.io import read_edge_list
+from repro.parallel.scheduler import SimulatedPool
+from repro.pipeline import decompose, search_best_core
+from repro.search.best_k import find_best_k
+from repro.search.metrics import metric_names
+
+__all__ = ["main", "build_parser"]
+
+
+def _add_graph_source(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_mutually_exclusive_group(required=True)
+    group.add_argument("--input", help="edge-list file (u v per line)")
+    group.add_argument(
+        "--dataset", help="built-in stand-in name or abbreviation (e.g. AS)"
+    )
+    parser.add_argument(
+        "--threads",
+        type=int,
+        default=4,
+        help="simulated thread count (default 4)",
+    )
+
+
+def _load_graph(args: argparse.Namespace) -> Graph:
+    if args.input:
+        return read_edge_list(args.input, relabel=True)
+    return load(args.dataset).graph
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="parallel hierarchical core decomposition (ICDE 2022 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_stats = sub.add_parser("stats", help="graph statistics")
+    _add_graph_source(p_stats)
+
+    p_deco = sub.add_parser("decompose", help="coreness + HCD forest")
+    _add_graph_source(p_deco)
+    p_deco.add_argument(
+        "--tree", action="store_true", help="print the full ASCII forest"
+    )
+
+    p_search = sub.add_parser("search", help="best k-core under a metric")
+    _add_graph_source(p_search)
+    p_search.add_argument(
+        "--metric",
+        default="average_degree",
+        choices=metric_names(),
+    )
+
+    p_bestk = sub.add_parser("bestk", help="best k over k-core sets")
+    _add_graph_source(p_bestk)
+    p_bestk.add_argument(
+        "--metric",
+        default="average_degree",
+        choices=metric_names(),
+    )
+
+    p_report = sub.add_parser(
+        "report", help="full analysis report for a graph"
+    )
+    _add_graph_source(p_report)
+
+    sub.add_parser("datasets", help="list built-in dataset stand-ins")
+    return parser
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    deco = decompose(graph, threads=args.threads)
+    stats = deco.hcd.stats()
+    print(f"vertices : {graph.num_vertices}")
+    print(f"edges    : {graph.num_edges}")
+    print(f"avg deg  : {graph.average_degree():.2f}")
+    print(f"kmax     : {stats.kmax}")
+    print(f"|T|      : {stats.num_nodes}")
+    print(f"forest depth: {stats.max_depth}")
+    return 0
+
+
+def _cmd_decompose(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    deco = decompose(graph, threads=args.threads)
+    hist = np.bincount(deco.coreness)
+    print("coreness histogram (k: count):")
+    for k, count in enumerate(hist):
+        if count:
+            print(f"  {k:4d}: {count}")
+    print()
+    if args.tree:
+        print(ascii_tree(deco.hcd))
+    else:
+        print(hierarchy_summary(deco.hcd))
+    return 0
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    result, deco = search_best_core(
+        graph, args.metric, threads=args.threads
+    )
+    members = result.best_members()
+    print(f"metric     : {args.metric}")
+    print(f"best k     : {result.best_k}")
+    print(f"score      : {result.best_score:.6f}")
+    print(f"|S|        : {members.size}")
+    shown = ", ".join(str(int(v)) for v in members[:20])
+    suffix = ", ..." if members.size > 20 else ""
+    print(f"members    : [{shown}{suffix}]")
+    print("phase times (simulated):")
+    for phase, elapsed in deco.phase_times.items():
+        print(f"  {phase:20} {elapsed:12.0f}")
+    return 0
+
+
+def _cmd_bestk(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    deco = decompose(graph, threads=args.threads)
+    pool = SimulatedPool(threads=args.threads)
+    result = find_best_k(graph, deco.coreness, args.metric, pool)
+    print(f"metric : {args.metric}")
+    print(f"best k : {result.best_k} (score {result.best_score:.6f})")
+    print("score per k:")
+    for k, score in enumerate(result.scores):
+        marker = "  <== best" if k == result.best_k else ""
+        print(f"  k={k:4d}: {score:12.6f}{marker}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.report import analysis_report
+
+    graph = _load_graph(args)
+    print(analysis_report(graph, threads=args.threads))
+    return 0
+
+
+def _cmd_datasets(_: argparse.Namespace) -> int:
+    print(f"{'name':16}{'abbrev':8}description")
+    for name in dataset_names():
+        spec = get_spec(name)
+        print(f"{spec.name:16}{spec.abbrev:8}{spec.description}")
+    return 0
+
+
+_COMMANDS = {
+    "stats": _cmd_stats,
+    "report": _cmd_report,
+    "decompose": _cmd_decompose,
+    "search": _cmd_search,
+    "bestk": _cmd_bestk,
+    "datasets": _cmd_datasets,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,421 @@
+"""The hierarchical core decomposition (HCD) index.
+
+The HCD of a graph (Definition 3) is a forest: each *k-core tree node*
+stores the vertices of coreness ``k`` inside one particular k-core
+(Definition 1), and tree edges record which k-core each k'-core is
+nested in (Definition 2).  :class:`HCD` is the index of Figure 2:
+
+* ``V(T_i)``  — :meth:`vertices_of`
+* ``P(T_i)``  — :attr:`parent`
+* ``C(T_i)``  — :attr:`children`
+* ``tid(v)``  — :attr:`tid`
+
+Construction algorithms (:mod:`repro.core.lcps`,
+:mod:`repro.core.phcd`) assemble an HCD through :class:`HCDBuilder`;
+the index itself is immutable and exposes traversal, reconstruction of
+original k-cores, canonicalization (for cross-algorithm equality
+tests), and a full structural :meth:`validate` used by the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import HierarchyError
+from repro.graph.graph import Graph
+
+__all__ = ["HCD", "HCDBuilder", "HCDStats"]
+
+
+@dataclass(frozen=True)
+class HCDStats:
+    """Aggregate shape statistics of an HCD forest."""
+
+    num_nodes: int
+    num_roots: int
+    max_depth: int
+    kmax: int
+    largest_node: int
+
+
+class HCD:
+    """Immutable hierarchical core decomposition index.
+
+    Parameters mirror the paper's index overview (Section II-B).  Use
+    :class:`HCDBuilder` or an algorithm in :mod:`repro.core` to create
+    instances; the constructor only wires and freezes the arrays.
+    """
+
+    __slots__ = (
+        "node_coreness",
+        "parent",
+        "children",
+        "tid",
+        "_node_vertices",
+        "_depths",
+    )
+
+    def __init__(
+        self,
+        node_coreness: np.ndarray,
+        parent: np.ndarray,
+        tid: np.ndarray,
+        node_vertices: list[np.ndarray],
+    ) -> None:
+        self.node_coreness = np.asarray(node_coreness, dtype=np.int64)
+        self.parent = np.asarray(parent, dtype=np.int64)
+        self.tid = np.asarray(tid, dtype=np.int64)
+        self._node_vertices = [
+            np.asarray(vs, dtype=np.int64) for vs in node_vertices
+        ]
+        t = self.num_nodes
+        children: list[list[int]] = [[] for _ in range(t)]
+        for node in range(t):
+            pa = int(self.parent[node])
+            if pa >= 0:
+                children[pa].append(node)
+        self.children = children
+        self._depths: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of k-core tree nodes, the paper's ``|T|``."""
+        return int(self.node_coreness.size)
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of graph vertices indexed by ``tid``."""
+        return int(self.tid.size)
+
+    @property
+    def kmax(self) -> int:
+        """Largest coreness among tree nodes (0 for an empty forest)."""
+        return int(self.node_coreness.max()) if self.num_nodes else 0
+
+    def vertices_of(self, node: int) -> np.ndarray:
+        """``V(T_node)``: vertices stored directly in the tree node."""
+        return self._node_vertices[node]
+
+    def roots(self) -> list[int]:
+        """Tree nodes with no parent (one per connected component chain)."""
+        return [int(i) for i in np.flatnonzero(self.parent < 0)]
+
+    def node_of_vertex(self, v: int) -> int:
+        """``tid(v)``: the tree node containing vertex ``v``."""
+        return int(self.tid[v])
+
+    # ------------------------------------------------------------------
+    # traversal
+    # ------------------------------------------------------------------
+
+    def depths(self) -> np.ndarray:
+        """Depth of each node (roots at 0); cached."""
+        if self._depths is None:
+            from repro.parallel.accumulate import tree_depths
+
+            self._depths = tree_depths(self.parent)
+        return self._depths
+
+    def nodes_bottom_up(self) -> list[int]:
+        """Node ids ordered deepest-first (children before parents)."""
+        depths = self.depths()
+        order = np.argsort(depths, kind="stable")[::-1]
+        return [int(i) for i in order]
+
+    def nodes_top_down(self) -> list[int]:
+        """Node ids ordered shallowest-first (parents before children)."""
+        return list(reversed(self.nodes_bottom_up()))
+
+    def subtree_nodes(self, node: int) -> list[int]:
+        """All nodes in the subtree rooted at ``node`` (preorder)."""
+        out: list[int] = []
+        stack = [node]
+        while stack:
+            cur = stack.pop()
+            out.append(cur)
+            stack.extend(reversed(self.children[cur]))
+        return out
+
+    def reconstruct_core(self, node: int) -> np.ndarray:
+        """Vertex set of the node's *original k-core* (subtree union).
+
+        A k-core equals its tree node's vertices plus all offspring tree
+        nodes' vertices (Section II-B), sorted ascending.
+        """
+        parts = [self._node_vertices[i] for i in self.subtree_nodes(node)]
+        return np.sort(np.concatenate(parts)) if parts else np.empty(0, dtype=np.int64)
+
+    def core_node_containing(self, v: int, k: int) -> int:
+        """Tree node whose original core is the k-core containing ``v``.
+
+        The local k-core query of ShellStruct / CL-Tree (paper Section
+        VII): walk up from ``tid(v)`` to the deepest ancestor whose
+        coreness is still >= k.  Because no tree node exists between
+        that ancestor and its parent, the ancestor's original core *is*
+        the k-core containing ``v`` for every k in
+        ``(parent coreness, node coreness]``.  Output-sensitive: the
+        walk costs the hierarchy depth, not the graph size.
+
+        Returns -1 when ``k`` exceeds ``v``'s coreness (no such core).
+        """
+        node = int(self.tid[v])
+        if k > int(self.node_coreness[node]):
+            return -1
+        while True:
+            pa = int(self.parent[node])
+            if pa < 0 or int(self.node_coreness[pa]) < k:
+                return node
+            node = pa
+
+    def k_core_containing(self, v: int, k: int) -> np.ndarray:
+        """Vertex set of the k-core containing ``v`` (empty if none)."""
+        node = self.core_node_containing(v, k)
+        if node < 0:
+            return np.empty(0, dtype=np.int64)
+        return self.reconstruct_core(node)
+
+    def maximal_core_nodes(self, k: int) -> list[int]:
+        """Tree nodes whose original cores are exactly the k-cores of G.
+
+        These are the nodes with coreness >= k whose parent sits below
+        k — one per connected k-core (the k-core *set* partition).
+        """
+        out = []
+        for node in range(self.num_nodes):
+            if int(self.node_coreness[node]) < k:
+                continue
+            pa = int(self.parent[node])
+            if pa < 0 or int(self.node_coreness[pa]) < k:
+                out.append(node)
+        return out
+
+    # ------------------------------------------------------------------
+    # comparison & validation
+    # ------------------------------------------------------------------
+
+    def canonical_form(
+        self,
+    ) -> list[tuple[int, tuple[int, ...], int, tuple[int, ...]]]:
+        """Order-independent description for equality across algorithms.
+
+        Each entry is ``(k, vertices, parent_k, parent_vertices_min)``
+        keyed purely by content; two HCDs of the same graph are equal
+        iff their canonical forms are equal, regardless of node ids.
+        """
+        entries = []
+        for node in range(self.num_nodes):
+            verts = tuple(int(v) for v in np.sort(self._node_vertices[node]))
+            pa = int(self.parent[node])
+            if pa < 0:
+                pkey: tuple[int, tuple[int, ...]] = (-1, ())
+            else:
+                pkey = (
+                    int(self.node_coreness[pa]),
+                    tuple(int(v) for v in np.sort(self._node_vertices[pa])),
+                )
+            entries.append(
+                (int(self.node_coreness[node]), verts, pkey[0], pkey[1])
+            )
+        entries.sort()
+        return entries
+
+    def equivalent_to(self, other: "HCD") -> bool:
+        """Content equality ignoring node numbering."""
+        return self.canonical_form() == other.canonical_form()
+
+    def stats(self) -> HCDStats:
+        """Aggregate shape statistics (used by Table II's ``|T|``)."""
+        depths = self.depths() if self.num_nodes else np.zeros(0, dtype=np.int64)
+        return HCDStats(
+            num_nodes=self.num_nodes,
+            num_roots=len(self.roots()),
+            max_depth=int(depths.max()) if depths.size else 0,
+            kmax=self.kmax,
+            largest_node=max(
+                (len(vs) for vs in self._node_vertices), default=0
+            ),
+        )
+
+    def validate(self, graph: Graph, coreness: np.ndarray) -> None:
+        """Check every HCD invariant; raise :class:`HierarchyError` if broken.
+
+        Invariants checked (Definitions 1-3):
+
+        1. the node vertex sets partition ``V`` and agree with ``tid``;
+        2. every vertex in a node has coreness equal to the node's k;
+        3. parent coreness is strictly smaller than child coreness;
+        4. each reconstructed original k-core is connected in ``G``;
+        5. each reconstructed k-core is exactly a maximal connected
+           subgraph of ``{v : c(v) >= k}`` — i.e. a true k-core;
+        6. the parent's reconstructed core strictly contains the child's.
+        """
+        coreness = np.asarray(coreness, dtype=np.int64)
+        n = graph.num_vertices
+        seen = np.zeros(n, dtype=bool)
+        for node in range(self.num_nodes):
+            k = int(self.node_coreness[node])
+            verts = self._node_vertices[node]
+            if verts.size == 0:
+                raise HierarchyError(f"tree node {node} is empty")
+            for v in verts:
+                v = int(v)
+                if seen[v]:
+                    raise HierarchyError(f"vertex {v} appears in two tree nodes")
+                seen[v] = True
+                if int(self.tid[v]) != node:
+                    raise HierarchyError(f"tid({v}) != owning node {node}")
+                if int(coreness[v]) != k:
+                    raise HierarchyError(
+                        f"vertex {v} has coreness {coreness[v]} in a {k}-node"
+                    )
+            pa = int(self.parent[node])
+            if pa >= 0 and int(self.node_coreness[pa]) >= k:
+                raise HierarchyError(
+                    f"parent coreness {self.node_coreness[pa]} >= child {k}"
+                )
+        if not bool(seen.all()):
+            missing = int(np.flatnonzero(~seen)[0])
+            raise HierarchyError(f"vertex {missing} missing from the HCD")
+
+        # Reconstruction checks against the direct definition.
+        for node in range(self.num_nodes):
+            k = int(self.node_coreness[node])
+            core = self.reconstruct_core(node)
+            members = set(int(v) for v in core)
+            if any(int(coreness[v]) < k for v in members):
+                raise HierarchyError(f"node {node}: core contains low-coreness vertex")
+            # connectivity + maximality via BFS in the >=k subgraph
+            start = int(core[0])
+            comp = {start}
+            stack = [start]
+            while stack:
+                u = stack.pop()
+                for w in graph.neighbors(u):
+                    w = int(w)
+                    if coreness[w] >= k and w not in comp:
+                        comp.add(w)
+                        stack.append(w)
+            if comp != members:
+                raise HierarchyError(
+                    f"node {node}: reconstructed {k}-core is not a maximal "
+                    f"connected component of the >= {k} subgraph"
+                )
+            pa = int(self.parent[node])
+            if pa >= 0:
+                parent_members = set(int(v) for v in self.reconstruct_core(pa))
+                if not members < parent_members:
+                    raise HierarchyError(
+                        f"node {node}: not strictly contained in parent's core"
+                    )
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+
+    def save(self, path) -> None:
+        """Persist the index with :func:`numpy.savez_compressed`.
+
+        The HCD is the paper's O(n)-space subgraph index; persisting it
+        lets later sessions answer core queries without re-running
+        construction.  Node vertex sets are stored in CSR layout.
+        """
+        offsets = np.zeros(self.num_nodes + 1, dtype=np.int64)
+        for node, verts in enumerate(self._node_vertices):
+            offsets[node + 1] = offsets[node] + verts.size
+        flat = (
+            np.concatenate(self._node_vertices)
+            if self.num_nodes
+            else np.empty(0, dtype=np.int64)
+        )
+        np.savez_compressed(
+            path,
+            node_coreness=self.node_coreness,
+            parent=self.parent,
+            tid=self.tid,
+            member_offsets=offsets,
+            members=flat,
+        )
+
+    @classmethod
+    def load(cls, path) -> "HCD":
+        """Reload an index stored with :meth:`save`."""
+        with np.load(path) as data:
+            required = (
+                "node_coreness", "parent", "tid", "member_offsets", "members"
+            )
+            for key in required:
+                if key not in data:
+                    raise HierarchyError(f"HCD file missing array {key!r}")
+            offsets = data["member_offsets"]
+            members = data["members"]
+            node_vertices = [
+                members[offsets[i] : offsets[i + 1]]
+                for i in range(offsets.size - 1)
+            ]
+            return cls(
+                node_coreness=data["node_coreness"],
+                parent=data["parent"],
+                tid=data["tid"],
+                node_vertices=node_vertices,
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"HCD(nodes={self.num_nodes}, vertices={self.num_vertices}, "
+            f"kmax={self.kmax})"
+        )
+
+
+class HCDBuilder:
+    """Mutable assembler used by the construction algorithms."""
+
+    def __init__(self, num_vertices: int) -> None:
+        self._num_vertices = num_vertices
+        self._coreness: list[int] = []
+        self._parent: list[int] = []
+        self._vertices: list[list[int]] = []
+        self.tid = np.full(num_vertices, -1, dtype=np.int64)
+
+    def new_node(self, k: int) -> int:
+        """Create an empty tree node at coreness ``k``; return its id."""
+        node = len(self._coreness)
+        self._coreness.append(int(k))
+        self._parent.append(-1)
+        self._vertices.append([])
+        return node
+
+    def add_vertex(self, node: int, v: int) -> None:
+        """Place vertex ``v`` into tree node ``node``."""
+        self._vertices[node].append(int(v))
+        self.tid[v] = node
+
+    def set_parent(self, child: int, parent: int) -> None:
+        """Record ``P(T_child) = T_parent``."""
+        self._parent[child] = int(parent)
+
+    @property
+    def num_nodes(self) -> int:
+        """Nodes created so far."""
+        return len(self._coreness)
+
+    def coreness_of(self, node: int) -> int:
+        """Coreness of a node created earlier."""
+        return self._coreness[node]
+
+    def build(self) -> HCD:
+        """Freeze into an immutable :class:`HCD`."""
+        if np.any(self.tid < 0):
+            missing = int(np.flatnonzero(self.tid < 0)[0])
+            raise HierarchyError(f"vertex {missing} was never placed in a node")
+        return HCD(
+            node_coreness=np.asarray(self._coreness, dtype=np.int64),
+            parent=np.asarray(self._parent, dtype=np.int64),
+            tid=self.tid,
+            node_vertices=[np.asarray(vs, dtype=np.int64) for vs in self._vertices],
+        )

@@ -1,0 +1,135 @@
+"""RC — local k-core search, and an HCD construction built on it.
+
+A *local k-core search* from vertex ``v`` (paper Section III-E) is a
+BFS over vertices whose coreness is at least ``c(v)``; it reconstructs
+the k-core containing ``v`` for ``k = c(v)``.  The divide-and-conquer
+paradigm the paper examines (and rejects) leans on RC to merge partial
+tree nodes and confirm parent-child relations; Table III's ``RC``
+column measures its cost.
+
+:func:`rc_build_hcd` constructs a *complete* HCD purely from local
+searches: for every level k, each k-core is materialized by a fresh
+BFS and its children are the chain tops discovered inside it.  The
+result is correct — it serves as a third independent construction used
+by the test oracle — but the repeated component walks cost
+``O(sum_k |K_k|)``, which is why the paper finds RC 4-125x slower than
+PHCD.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.hcd import HCD, HCDBuilder
+from repro.graph.graph import Graph
+from repro.parallel.context import ThreadContext
+from repro.parallel.scheduler import SimulatedPool
+
+__all__ = ["local_core_search", "rc_build_hcd"]
+
+
+def local_core_search(
+    graph: Graph,
+    coreness: np.ndarray,
+    v: int,
+    level: int | None = None,
+    ctx: ThreadContext | None = None,
+) -> np.ndarray:
+    """Vertices of the k-core containing ``v``, for ``k = level``.
+
+    ``level`` defaults to ``c(v)``.  Work (one charge per scanned edge)
+    is charged to ``ctx`` when provided.
+    """
+    coreness = np.asarray(coreness)
+    k = int(coreness[v]) if level is None else int(level)
+    if coreness[v] < k:
+        return np.empty(0, dtype=np.int64)
+    indptr, indices = graph.indptr, graph.indices
+    seen = {int(v)}
+    stack = [int(v)]
+    while stack:
+        u = stack.pop()
+        if ctx is not None:
+            ctx.charge(1)
+        for w in indices[indptr[u] : indptr[u + 1]]:
+            w = int(w)
+            if ctx is not None:
+                ctx.charge(1)
+            if coreness[w] >= k and w not in seen:
+                seen.add(w)
+                stack.append(w)
+    return np.asarray(sorted(seen), dtype=np.int64)
+
+
+def rc_build_hcd(
+    graph: Graph,
+    coreness: np.ndarray,
+    pool: SimulatedPool,
+) -> HCD:
+    """Construct the HCD with per-level local k-core searches.
+
+    For each k from kmax down to 0, every k-core with a non-empty
+    k-shell becomes a tree node; the search that materializes the core
+    also finds the node's children (the current chain-top of every
+    higher-coreness vertex absorbed).  Component discovery within a
+    level is serial, but each discovered core's (re-)walk is charged in
+    a parallel region — the best case for an RC-based builder.
+    """
+    coreness = np.asarray(coreness, dtype=np.int64)
+    n = graph.num_vertices
+    builder = HCDBuilder(n)
+    if n == 0:
+        return builder.build()
+    kmax = int(coreness.max())
+    indptr, indices = graph.indptr, graph.indices
+    # chain_top[v]: tree node currently topping the chain of v's core.
+    chain_top = np.full(n, -1, dtype=np.int64)
+
+    order = np.argsort(coreness, kind="stable")[::-1]  # descending coreness
+    for k in range(kmax, -1, -1):
+        shell = [int(v) for v in order if coreness[v] == k]
+        if not shell:
+            continue
+        # Discover the k-cores seeded at shell vertices (serial sweep).
+        assigned: set[int] = set()
+        components: list[list[int]] = []
+        for seed in shell:
+            if seed in assigned:
+                continue
+            comp: list[int] = []
+            stack = [seed]
+            seen = {seed}
+            while stack:
+                u = stack.pop()
+                comp.append(u)
+                for w in indices[indptr[u] : indptr[u + 1]]:
+                    w = int(w)
+                    if coreness[w] >= k and w not in seen:
+                        seen.add(w)
+                        stack.append(w)
+            assigned.update(x for x in comp if coreness[x] == k)
+            components.append(comp)
+
+        nodes = [builder.new_node(k) for _ in components]
+
+        def absorb(idx: int, ctx) -> None:
+            node = nodes[idx]
+            children: set[int] = set()
+            for u in components[idx]:
+                ctx.charge(1)
+                ctx.charge(int(indptr[u + 1] - indptr[u]))  # re-walk cost
+                if coreness[u] == k:
+                    builder.add_vertex(node, u)
+                else:
+                    top = int(chain_top[u])
+                    if top >= 0:
+                        children.add(top)
+            for child in sorted(children):
+                builder.set_parent(child, node)
+            for u in components[idx]:
+                chain_top[u] = node
+
+        pool.parallel_for(
+            list(range(len(components))), absorb, label=f"rc:level_{k}"
+        )
+    return builder.build()

@@ -1,0 +1,51 @@
+"""LB — the union-find lower bound of Table III.
+
+Any union-find-based HCD construction must at least connect every
+adjacent vertex pair; ``LB`` performs exactly those unions and nothing
+else.  The paper reports PHCD's runtime relative to this lower bound
+(~0.3-0.8x of PHCD's speed) to show PHCD is near-optimal within its
+paradigm.  The same union-find engine as PHCD is used so the two
+clocks are comparable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.phcd import SCAN_CHARGE
+from repro.graph.graph import Graph
+from repro.parallel.scheduler import SimulatedPool
+from repro.unionfind.pivot import PivotUnionFind
+from repro.unionfind.waitfree import SimulatedWaitFreeUnionFind
+
+__all__ = ["lower_bound_cost"]
+
+
+def lower_bound_cost(graph: Graph, pool: SimulatedPool) -> float:
+    """Simulated time of unioning every adjacent pair on ``pool``.
+
+    Returns the elapsed simulated time (the pool clock also advances).
+    """
+    n = graph.num_vertices
+    ranks = np.arange(n, dtype=np.int64)
+    if pool.threads > 1:
+        uf: PivotUnionFind | SimulatedWaitFreeUnionFind = (
+            SimulatedWaitFreeUnionFind(ranks)
+        )
+    else:
+        uf = PivotUnionFind(ranks)
+    indptr, indices = graph.indptr, graph.indices
+    start = pool.mark()
+
+    def connect(v: int, ctx) -> None:
+        ctx.charge(1)
+        for u in indices[indptr[v] : indptr[v + 1]]:
+            u = int(u)
+            ctx.charge(SCAN_CHARGE)
+            if u > v:
+                uf.union(v, u, ctx)
+
+    pool.parallel_for(
+        range(n), connect, label="lower_bound", chunking="dynamic", grain=16
+    )
+    return pool.elapsed_since(start)

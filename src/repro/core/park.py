@@ -1,0 +1,68 @@
+"""ParK — parallel k-core decomposition (Dasari, Ranjan & Zubair, 2014).
+
+ParK is the predecessor of PKC: the same level-synchronous peeling, but
+every sub-round *rescans the whole undecided vertex set* to build its
+frontier and publishes the frontier through a single shared buffer,
+paying more scans and more synchronization than PKC.  It is included as
+the historical baseline PKC is compared against (paper Section VII) and
+to let the component-speedup experiment (Figure 10) show CD as the
+least scalable stage.
+
+Work is ``O(n * kmax + m)`` like PKC, with a larger constant.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.graph import Graph
+from repro.parallel.atomics import AtomicArray, AtomicList
+from repro.parallel.scheduler import SimulatedPool
+
+__all__ = ["park_core_decomposition"]
+
+
+def park_core_decomposition(graph: Graph, pool: SimulatedPool) -> np.ndarray:
+    """Coreness of every vertex, via ParK's scan-heavy peeling."""
+    n = graph.num_vertices
+    coreness = np.zeros(n, dtype=np.int64)
+    if n == 0:
+        return coreness
+    indptr, indices = graph.indptr, graph.indices
+    degree = AtomicArray(n, dtype=np.int64, name="park_deg")
+    degree.data[:] = graph.degrees()
+    settled = np.zeros(n, dtype=bool)
+    remaining = n
+    k = 0
+    while remaining > 0:
+        progressed = True
+        while progressed:
+            # Whole-set rescan each sub-round (ParK's extra cost vs PKC).
+            shared_frontier = AtomicList(name=f"park_frontier_k{k}")
+
+            def scan(v: int, ctx) -> None:
+                ctx.charge(1)
+                if not settled[v] and degree.data[v] <= k:
+                    shared_frontier.append(ctx, v)
+
+            pool.parallel_for(range(n), scan, label=f"park:scan_k{k}")
+            frontier = shared_frontier.snapshot()
+            progressed = bool(frontier)
+            if not progressed:
+                break
+            for v in frontier:
+                settled[v] = True
+
+            def process(v: int, ctx) -> None:
+                coreness[v] = k
+                ctx.charge(1)
+                for u in indices[indptr[v] : indptr[v + 1]]:
+                    u = int(u)
+                    ctx.charge(1)
+                    if not settled[u]:
+                        degree.add(ctx, u, -1)
+
+            pool.parallel_for(frontier, process, label=f"park:peel_k{k}")
+            remaining -= len(frontier)
+        k += 1
+    return coreness

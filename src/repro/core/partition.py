@@ -1,0 +1,73 @@
+"""Parallel label-propagation graph partitioner (Spinner-style).
+
+The divide-and-conquer feasibility study (paper Section V-B) needs a
+parallel partitioner to contrast with PHCD: the paper cites Spinner
+taking ~100s on 40 cores where PHCD takes ~2.6s.  This module provides
+a simple Spinner-like partitioner — balanced seed assignment followed
+by iterative majority-label adoption with capacity penalties — whose
+simulated cost is reported by ``benchmarks/bench_feasibility_dnc.py``.
+It is deliberately iteration-heavy (like the real systems) and is not
+used by any correctness-critical path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.graph import Graph
+from repro.parallel.scheduler import SimulatedPool
+
+__all__ = ["label_propagation_partition"]
+
+
+def label_propagation_partition(
+    graph: Graph,
+    num_parts: int,
+    pool: SimulatedPool,
+    iterations: int = 10,
+    balance_slack: float = 1.10,
+) -> np.ndarray:
+    """Partition vertices into ``num_parts`` labels via label propagation.
+
+    Each iteration every vertex adopts the label most common among its
+    neighbors, unless the target part is over ``balance_slack`` times
+    the ideal size.  Returns the final label array.
+    """
+    n = graph.num_vertices
+    if num_parts < 1:
+        raise ValueError("num_parts must be >= 1")
+    labels = (np.arange(n, dtype=np.int64) * num_parts) // max(n, 1)
+    if n == 0 or num_parts == 1:
+        return labels
+    capacity = int(balance_slack * n / num_parts) + 1
+    indptr, indices = graph.indptr, graph.indices
+    sizes = np.bincount(labels, minlength=num_parts)
+
+    for it in range(iterations):
+        new_labels = labels.copy()
+
+        def relabel(v: int, ctx) -> None:
+            ctx.charge(1)
+            votes: dict[int, int] = {}
+            for u in indices[indptr[v] : indptr[v + 1]]:
+                ctx.charge(1)
+                lab = int(labels[u])
+                votes[lab] = votes.get(lab, 0) + 1
+            if not votes:
+                return
+            # deterministic argmax: highest count, then lowest label
+            best = min(votes, key=lambda lab: (-votes[lab], lab))
+            if best != labels[v] and sizes[best] < capacity:
+                ctx.atomic(("part_sizes", best))
+                new_labels[v] = best
+
+        pool.parallel_for(range(n), relabel, label=f"partition:iter{it}")
+        moved = new_labels != labels
+        # apply moves and rebalance bookkeeping (serial bookkeeping pass)
+        with pool.serial_region("partition:apply") as ctx:
+            ctx.charge(int(np.count_nonzero(moved)) + num_parts)
+        labels = new_labels
+        sizes = np.bincount(labels, minlength=num_parts)
+        if not bool(moved.any()):
+            break
+    return labels

@@ -1,0 +1,83 @@
+"""PKC — parallel k-core decomposition (Kabir & Madduri, IPDPSW'17).
+
+PKC peels vertices level-synchronously: at level ``k`` every remaining
+vertex whose current degree is ``<= k`` gets coreness ``k`` and is
+removed; removals decrement neighbor degrees atomically, and any
+neighbor dropping to ``<= k`` joins the next sub-round's frontier.  Each
+thread keeps a *local* frontier buffer to cut synchronization — PKC's
+headline optimization over ParK — which here is modelled by charging
+the buffer appends as ordinary work rather than shared atomics.
+
+Total work is ``O(n * kmax + m)`` (each level rescans undecided
+vertices once; every edge is relaxed once), matching the paper's stated
+bound.  Output is bit-identical to Batagelj–Zaversnik, which the test
+suite asserts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.graph import Graph
+from repro.parallel.atomics import AtomicArray
+from repro.parallel.scheduler import SimulatedPool
+
+__all__ = ["pkc_core_decomposition"]
+
+
+def pkc_core_decomposition(graph: Graph, pool: SimulatedPool) -> np.ndarray:
+    """Coreness of every vertex, computed level-synchronously on ``pool``."""
+    n = graph.num_vertices
+    coreness = np.zeros(n, dtype=np.int64)
+    if n == 0:
+        return coreness
+    indptr, indices = graph.indptr, graph.indices
+    degree = AtomicArray(n, dtype=np.int64, name="pkc_deg")
+    degree.data[:] = graph.degrees()
+    settled = np.zeros(n, dtype=bool)
+    remaining = n
+    k = 0
+    while remaining > 0:
+        # Scan for the level-k seed frontier among undecided vertices.
+        def scan(v: int, ctx) -> int:
+            ctx.charge(1)
+            if not settled[v] and degree.data[v] <= k:
+                return v
+            return -1
+
+        undecided = np.flatnonzero(~settled)
+        hits = pool.parallel_for(
+            [int(v) for v in undecided], scan, label=f"pkc:scan_k{k}"
+        )
+        frontier = [v for v in hits if v >= 0]
+        while frontier:
+            for v in frontier:
+                settled[v] = True
+            next_parts: list[list[int]] = [[] for _ in range(pool.threads)]
+
+            def process(v: int, ctx) -> None:
+                coreness[v] = k
+                ctx.charge(1)
+                for u in indices[indptr[v] : indptr[v + 1]]:
+                    u = int(u)
+                    ctx.charge(1)
+                    if settled[u]:
+                        continue
+                    degree.add(ctx, u, -1)
+                    if degree.data[u] == k:
+                        # local buffer append: PKC's low-sync design
+                        ctx.charge(1)
+                        next_parts[ctx.thread_id].append(u)
+
+            pool.parallel_for(frontier, process, label=f"pkc:peel_k{k}")
+            remaining -= len(frontier)
+            merged: list[int] = []
+            seen: set[int] = set()
+            for part in next_parts:
+                for u in part:
+                    if not settled[u] and u not in seen:
+                        seen.add(u)
+                        merged.append(u)
+            frontier = merged
+        k += 1
+    return coreness

@@ -1,0 +1,5 @@
+"""Dynamic-graph extension: incremental coreness maintenance."""
+
+from repro.dynamic.maintenance import DynamicGraph
+
+__all__ = ["DynamicGraph"]

@@ -1,0 +1,262 @@
+"""Incremental coreness maintenance under edge insertions/deletions.
+
+The paper's related work (Lin et al., PVLDB'21; Sariyüce et al.,
+PVLDB'13) maintains the core hierarchy on dynamic graphs.  This module
+implements the classical *traversal* maintenance of the coreness array:
+
+* **insertion** of ``{u, v}``: only vertices with coreness
+  ``k = min(c(u), c(v))`` inside the k-*subcore* reachable from the
+  lower endpoint can gain (at most) one level.  The candidate set is
+  collected by a BFS over coreness-``k`` vertices whose *core degree*
+  (neighbors usable at level ``k+1``) exceeds ``k``; a localized
+  peeling then evicts candidates that cannot sustain degree ``k+1``,
+  and the survivors are promoted.
+* **deletion**: only vertices in the k-subcore of the endpoints can
+  lose (at most) one level; a localized peeling demotes exactly those
+  whose support collapses.
+
+:class:`DynamicGraph` wraps an edge set with these updates and rebuilds
+the HCD lazily — full dynamic *hierarchy* maintenance (the paper's
+[15]) is out of scope, but because coreness stays incrementally
+correct, the rebuild runs PHCD on a ready decomposition.
+
+Correctness is checked property-style in the test suite against full
+recomputation after random update sequences.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.decomposition import core_decomposition
+from repro.core.hcd import HCD
+from repro.core.phcd import phcd_build_hcd
+from repro.errors import GraphBuildError
+from repro.graph.graph import Graph
+from repro.parallel.scheduler import SimulatedPool
+
+__all__ = ["DynamicGraph"]
+
+
+class DynamicGraph:
+    """A mutable graph maintaining coreness across edge updates.
+
+    Parameters
+    ----------
+    graph:
+        Initial graph (its coreness is computed once, up front).
+    """
+
+    def __init__(self, graph: Graph) -> None:
+        self._n = graph.num_vertices
+        self._adj: list[set[int]] = [
+            set(int(u) for u in graph.neighbors(v)) for v in range(self._n)
+        ]
+        self._coreness = core_decomposition(graph).astype(np.int64)
+        self._m = graph.num_edges
+        self._hcd_cache: HCD | None = None
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def num_vertices(self) -> int:
+        return self._n
+
+    @property
+    def num_edges(self) -> int:
+        return self._m
+
+    @property
+    def coreness(self) -> np.ndarray:
+        """The maintained coreness array (read-only view)."""
+        view = self._coreness.view()
+        view.setflags(write=False)
+        return view
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return v in self._adj[u]
+
+    def to_graph(self) -> Graph:
+        """Materialize the current edge set as an immutable Graph."""
+        edges = [
+            (u, v) for u in range(self._n) for v in self._adj[u] if u < v
+        ]
+        return Graph.from_edges(edges, num_vertices=self._n)
+
+    def hcd(self, threads: int = 1) -> HCD:
+        """The hierarchy for the current edge set.
+
+        Rebuilt with PHCD from the (incrementally correct) coreness and
+        cached until the next update invalidates it — full dynamic
+        hierarchy maintenance (the paper's [15]) is out of scope, but
+        repeated queries between updates pay construction only once.
+        """
+        if self._hcd_cache is None:
+            graph = self.to_graph()
+            pool = SimulatedPool(threads=threads)
+            self._hcd_cache = phcd_build_hcd(graph, self._coreness, pool)
+        return self._hcd_cache
+
+    # ------------------------------------------------------------------
+    # updates
+    # ------------------------------------------------------------------
+
+    def insert_edge(self, u: int, v: int) -> None:
+        """Add ``{u, v}`` and repair coreness (traversal insertion)."""
+        u, v = int(u), int(v)
+        self._check_endpoints(u, v)
+        if v in self._adj[u]:
+            raise GraphBuildError(f"edge ({u}, {v}) already present")
+        self._adj[u].add(v)
+        self._adj[v].add(u)
+        self._m += 1
+        self._hcd_cache = None
+
+        c = self._coreness
+        k = int(min(c[u], c[v]))
+        root = u if c[u] <= c[v] else v
+        # Candidates: the k-subcore around the root — coreness-k
+        # vertices reachable through coreness-k vertices, starting at
+        # the lower endpoint (only they can rise to k+1).
+        candidates = self._subcore(root, k)
+        self._promote(candidates, k)
+
+    def delete_edge(self, u: int, v: int) -> None:
+        """Remove ``{u, v}`` and repair coreness (traversal deletion)."""
+        u, v = int(u), int(v)
+        self._check_endpoints(u, v)
+        if v not in self._adj[u]:
+            raise GraphBuildError(f"edge ({u}, {v}) not present")
+        self._adj[u].remove(v)
+        self._adj[v].remove(u)
+        self._m -= 1
+        self._hcd_cache = None
+
+        c = self._coreness
+        k = int(min(c[u], c[v]))
+        # Both endpoints' k-subcores may lose support.
+        affected: set[int] = set()
+        for x in (u, v):
+            if c[x] == k:
+                affected |= self._subcore(x, k)
+        self._demote(affected, k)
+
+    def insert_edges(self, edges) -> int:
+        """Insert a batch of edges (duplicates skipped); returns count."""
+        applied = 0
+        for u, v in edges:
+            if not self.has_edge(int(u), int(v)) and int(u) != int(v):
+                self.insert_edge(int(u), int(v))
+                applied += 1
+        return applied
+
+    def delete_edges(self, edges) -> int:
+        """Delete a batch of edges (absent ones skipped); returns count."""
+        applied = 0
+        for u, v in edges:
+            if self.has_edge(int(u), int(v)):
+                self.delete_edge(int(u), int(v))
+                applied += 1
+        return applied
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _check_endpoints(self, u: int, v: int) -> None:
+        if not (0 <= u < self._n and 0 <= v < self._n):
+            raise GraphBuildError(f"endpoint out of range: ({u}, {v})")
+        if u == v:
+            raise GraphBuildError("self-loops are not allowed")
+
+    def _subcore(self, root: int, k: int) -> set[int]:
+        """Coreness-k vertices reachable from root via coreness-k paths
+        (hopping over neighbors with higher coreness is allowed, since
+        the k-subcore is connected inside the k-core)."""
+        c = self._coreness
+        if c[root] != k:
+            return set()
+        seen = {root}
+        stack = [root]
+        while stack:
+            x = stack.pop()
+            for y in self._adj[x]:
+                if c[y] == k and y not in seen:
+                    seen.add(y)
+                    stack.append(y)
+                elif c[y] > k:
+                    # traverse through the higher core: its vertices
+                    # connect k-subcore fragments of the same k-core
+                    for z in self._bridge_expand(y, k, seen):
+                        stack.append(z)
+        return seen
+
+    def _bridge_expand(self, start: int, k: int, seen: set[int]) -> list[int]:
+        """Walk the > k region from ``start``; return newly reached
+        coreness-k vertices (marked in ``seen``)."""
+        c = self._coreness
+        out: list[int] = []
+        visited_high = {start}
+        stack = [start]
+        while stack:
+            x = stack.pop()
+            for y in self._adj[x]:
+                if c[y] == k and y not in seen:
+                    seen.add(y)
+                    out.append(y)
+                elif c[y] > k and y not in visited_high:
+                    visited_high.add(y)
+                    stack.append(y)
+        return out
+
+    def _promote(self, candidates: set[int], k: int) -> None:
+        """Localized peeling at level k+1 over the candidate set.
+
+        A candidate survives if it keeps > k neighbors among
+        (surviving candidates) union (vertices of coreness > k).
+        Survivors' coreness becomes k + 1.
+        """
+        c = self._coreness
+        alive = set(candidates)
+        changed = True
+        while changed:
+            changed = False
+            for x in list(alive):
+                support = sum(
+                    1
+                    for y in self._adj[x]
+                    if (y in alive) or c[y] > k
+                )
+                if support <= k:
+                    alive.remove(x)
+                    changed = True
+        for x in alive:
+            c[x] = k + 1
+
+    def _demote(self, affected: set[int], k: int) -> None:
+        """Localized peeling at level k over the affected set.
+
+        A vertex keeps coreness k only while it has >= k neighbors of
+        effective level >= k; evicted vertices drop to k - 1 (coreness
+        falls by at most one per deletion).
+        """
+        c = self._coreness
+        alive = set(affected)
+        dropped: set[int] = set()
+        changed = True
+        while changed:
+            changed = False
+            for x in list(alive):
+                support = sum(
+                    1
+                    for y in self._adj[x]
+                    if (c[y] > k) or (c[y] == k and y not in dropped)
+                )
+                if support < k:
+                    alive.remove(x)
+                    dropped.add(x)
+                    changed = True
+        for x in dropped:
+            c[x] = k - 1

@@ -1,0 +1,15 @@
+"""k-edge-connected components and their hierarchy (Section VI extension)."""
+
+from repro.ecc.decomposition import (
+    EccHierarchy,
+    ecc_decomposition,
+    k_edge_connected_components,
+    stoer_wagner_min_cut,
+)
+
+__all__ = [
+    "stoer_wagner_min_cut",
+    "k_edge_connected_components",
+    "EccHierarchy",
+    "ecc_decomposition",
+]

@@ -1,0 +1,42 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class.  The subclasses distinguish the
+broad failure domains: malformed input graphs, malformed or inconsistent
+hierarchy indexes, misuse of the simulated-parallel scheduler, and
+unknown names looked up in registries (metrics, datasets).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphFormatError(ReproError):
+    """An input edge list or graph file is malformed or inconsistent."""
+
+
+class GraphBuildError(ReproError):
+    """A graph could not be assembled from the provided edges."""
+
+
+class HierarchyError(ReproError):
+    """An HCD index is malformed, inconsistent, or failed validation."""
+
+
+class SchedulerError(ReproError):
+    """The simulated-parallel scheduler was misused (e.g. nested regions)."""
+
+
+class UnknownMetricError(ReproError, KeyError):
+    """A community scoring metric name is not present in the registry."""
+
+
+class UnknownDatasetError(ReproError, KeyError):
+    """A dataset stand-in name is not present in the registry."""
+
+
+class SearchError(ReproError):
+    """A subgraph-search computation received invalid input."""

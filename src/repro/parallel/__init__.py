@@ -1,0 +1,26 @@
+"""Simulated-multicore substrate: scheduler, cost model, atomics."""
+
+from repro.parallel.accumulate import (
+    tree_accumulate,
+    tree_accumulate_euler,
+    tree_depths,
+)
+from repro.parallel.atomics import AtomicArray, AtomicCounter, AtomicList, AtomicSet
+from repro.parallel.context import ThreadContext
+from repro.parallel.cost_model import DEFAULT_COST_MODEL, CostModel
+from repro.parallel.scheduler import RegionStats, SimulatedPool
+
+__all__ = [
+    "SimulatedPool",
+    "RegionStats",
+    "ThreadContext",
+    "CostModel",
+    "DEFAULT_COST_MODEL",
+    "AtomicCounter",
+    "AtomicArray",
+    "AtomicSet",
+    "AtomicList",
+    "tree_accumulate",
+    "tree_accumulate_euler",
+    "tree_depths",
+]

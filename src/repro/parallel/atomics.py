@@ -1,0 +1,150 @@
+"""Atomic data structures on the simulated cost model.
+
+These wrappers execute ordinary Python/numpy updates while charging
+atomic operations to the active :class:`ThreadContext`, so the
+scheduler can model contention.  Because virtual threads run one after
+another, the updates themselves need no real synchronization — the
+charge is the point.
+
+Location keys coalesce array indices to cache-line granularity
+(:data:`~repro.parallel.context.CACHELINE_WORDS`) so nearby slots
+contend, modelling false sharing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.parallel.context import CACHELINE_WORDS, ThreadContext
+
+__all__ = ["AtomicCounter", "AtomicArray", "AtomicSet", "AtomicList"]
+
+
+class AtomicCounter:
+    """A shared integer supporting ``fetch_add`` (one contended location)."""
+
+    __slots__ = ("_value", "_key")
+
+    def __init__(self, initial: int = 0, name: str = "counter") -> None:
+        self._value = int(initial)
+        self._key = ("ctr", name)
+
+    def fetch_add(self, ctx: ThreadContext, delta: int = 1) -> int:
+        """Atomically add ``delta``; return the previous value.
+
+        Modelled as a hardware fetch-add (no CAS retry serialization).
+        """
+        ctx.atomic(self._key, contended=False)
+        old = self._value
+        self._value += delta
+        return old
+
+    @property
+    def value(self) -> int:
+        """Current value (non-atomic read)."""
+        return self._value
+
+
+class AtomicArray:
+    """A numpy array with atomically-charged element updates."""
+
+    __slots__ = ("data", "_name")
+
+    def __init__(self, size: int, dtype: type = np.int64, name: str = "arr") -> None:
+        self.data = np.zeros(size, dtype=dtype)
+        self._name = name
+
+    def _key(self, index: int) -> tuple[str, int]:
+        return (self._name, index // CACHELINE_WORDS)
+
+    def add(self, ctx: ThreadContext, index: int, delta) -> None:
+        """Atomic ``data[index] += delta`` (relaxed fetch-add)."""
+        ctx.atomic(self._key(index), contended=False)
+        self.data[index] += delta
+
+    def store(self, ctx: ThreadContext, index: int, value) -> None:
+        """Atomic ``data[index] = value`` (publication, contends)."""
+        ctx.atomic(self._key(index))
+        self.data[index] = value
+
+    def compare_and_swap(
+        self, ctx: ThreadContext, index: int, expected, value
+    ) -> bool:
+        """CAS: write ``value`` iff the slot holds ``expected``."""
+        ctx.atomic(self._key(index))
+        if self.data[index] == expected:
+            self.data[index] = value
+            return True
+        return False
+
+    def load(self, ctx: ThreadContext, index: int):
+        """Plain (charged) read of ``data[index]``."""
+        ctx.charge()
+        return self.data[index]
+
+    def __len__(self) -> int:
+        return int(self.data.size)
+
+
+class AtomicSet:
+    """A shared set with atomic add-if-absent (PHCD's ``kpc_pivot``).
+
+    The paper's line "atomic add pvt to kpc_pivot if not exists"
+    (Algorithm 2, line 9) maps to :meth:`add_if_absent`.  Every add
+    hits the same hash-bucket location derived from the element, so
+    different elements mostly avoid contention while duplicate inserts
+    collide — matching a concurrent hash set.
+    """
+
+    __slots__ = ("_items", "_name", "_buckets")
+
+    def __init__(self, name: str = "set", buckets: int = 64) -> None:
+        self._items: set = set()
+        self._name = name
+        self._buckets = buckets
+
+    def add_if_absent(self, ctx: ThreadContext, item) -> bool:
+        """Insert ``item``; return True when it was not present.
+
+        A plain read precedes the insert (check-then-CAS), so repeated
+        inserts of an existing element cost one read and never contend
+        — only the first insertion of each element pays the CAS.
+        """
+        ctx.charge(0.3)  # cached hash probe
+        if item in self._items:
+            return False
+        ctx.atomic((self._name, hash(item) % self._buckets))
+        self._items.add(item)
+        return True
+
+    def __contains__(self, item) -> bool:
+        return item in self._items
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self):
+        # Deterministic iteration order regardless of insertion pattern.
+        return iter(sorted(self._items))
+
+
+class AtomicList:
+    """A shared append-only list (atomic tail pointer)."""
+
+    __slots__ = ("_items", "_key")
+
+    def __init__(self, name: str = "list") -> None:
+        self._items: list = []
+        self._key = ("lst", name)
+
+    def append(self, ctx: ThreadContext, item) -> None:
+        """Atomically append ``item``."""
+        ctx.atomic(self._key)
+        self._items.append(item)
+
+    def snapshot(self) -> list:
+        """Copy of the current contents."""
+        return list(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)

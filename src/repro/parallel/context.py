@@ -1,0 +1,97 @@
+"""Per-thread accounting context for the simulated scheduler.
+
+A :class:`ThreadContext` is handed to every worker function run inside
+a :meth:`SimulatedPool.parallel_for` region (and to serial code via
+:meth:`SimulatedPool.serial_region`).  Workers call :meth:`charge` for
+ordinary operations and :meth:`atomic` for atomic read-modify-write
+operations on a named shared location.  The scheduler turns the
+recorded charges into simulated time; see
+:mod:`repro.parallel.cost_model`.
+"""
+
+from __future__ import annotations
+
+from repro.parallel.cost_model import CostModel
+
+__all__ = ["ThreadContext", "CACHELINE_WORDS"]
+
+#: Atomic locations are coalesced at this granularity to model false
+#: sharing: two threads hitting nearby array slots contend for the same
+#: cache line.
+CACHELINE_WORDS = 8
+
+
+class ThreadContext:
+    """Accumulates the simulated cost of one virtual thread.
+
+    Attributes
+    ----------
+    thread_id:
+        Index of the virtual thread within its region (0-based).
+    work:
+        Ordinary work units charged so far.
+    atomic_ops:
+        Number of atomic operations charged so far.
+    """
+
+    __slots__ = ("thread_id", "work", "atomic_ops", "_cost", "_atomic_locations")
+
+    def __init__(self, thread_id: int, cost_model: CostModel) -> None:
+        self.thread_id = thread_id
+        self.work = 0.0
+        self.atomic_ops = 0
+        self._cost = cost_model
+        #: location-key -> number of atomic ops by this thread
+        self._atomic_locations: dict[object, int] = {}
+
+    def charge(self, units: float = 1) -> None:
+        """Charge ``units`` of ordinary work.
+
+        The unit is one *random-access* memory operation (pointer
+        chase, priority-slot update).  Sequential adjacency scans are
+        cheaper per element (hardware prefetch) and charge fractional
+        units; algorithm modules document their constants.
+        """
+        self.work += units
+
+    def atomic(
+        self, location: object, units: int = 1, contended: bool = True
+    ) -> None:
+        """Charge ``units`` atomic operations on a shared ``location``.
+
+        ``location`` is any hashable key identifying the memory being
+        updated; array-based structures should coalesce indices to
+        cache-line granularity (see :data:`CACHELINE_WORDS`).  The
+        scheduler uses cross-thread location overlap to compute the
+        region's contention penalty.
+
+        ``contended=False`` marks commutative relaxed accumulation
+        (hardware fetch-add): it pays the atomic surcharge but does not
+        serialize on the critical path — only CAS-style operations
+        (links, publications, insert-if-absent) queue behind each other.
+        """
+        self.atomic_ops += units
+        self.work += units  # the op itself is also work
+        if contended:
+            self._atomic_locations[location] = (
+                self._atomic_locations.get(location, 0) + units
+            )
+
+    @property
+    def local_time(self) -> float:
+        """Simulated time of this thread, excluding contention effects."""
+        return (
+            self.work * self._cost.op_cost
+            + self.atomic_ops * self._cost.atomic_cost
+        )
+
+    @property
+    def atomic_locations(self) -> dict[object, int]:
+        """Read-only view of this thread's atomic-location histogram."""
+        return self._atomic_locations
+
+    def __repr__(self) -> str:
+        return (
+            f"ThreadContext(t={self.thread_id}, work={self.work}, "
+            f"atomics={self.atomic_ops})"
+        )

@@ -1,0 +1,287 @@
+"""Deterministic simulated-multicore scheduler.
+
+:class:`SimulatedPool` is the execution substrate substituting for the
+paper's 40-core OpenMP environment (see DESIGN.md Section 1).  Worker
+code runs *for real* — results are exactly what a serial execution
+produces — while a simulated clock advances according to the cost model:
+
+* a ``parallel_for`` region partitions its items over ``threads``
+  virtual threads, runs each partition, and advances the clock by the
+  *maximum* per-thread cost plus spawn/barrier overhead and a
+  contention penalty for atomics on shared locations;
+* a ``serial_region`` advances the clock by exactly the work charged.
+
+Because the virtual threads are executed one after another in a fixed
+order, every run is deterministic: algorithms must therefore be written
+so that their *output* does not depend on interleaving (the same
+property the paper's lock-free algorithms guarantee), and the test
+suite verifies output equality across thread counts.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Callable, Iterator, Sequence, TypeVar
+
+from repro.errors import SchedulerError
+from repro.parallel.context import ThreadContext
+from repro.parallel.cost_model import DEFAULT_COST_MODEL, CostModel
+
+__all__ = ["SimulatedPool", "RegionStats"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+class RegionStats:
+    """Accounting record of one completed parallel region."""
+
+    __slots__ = (
+        "label",
+        "threads",
+        "items",
+        "work_total",
+        "work_max",
+        "atomic_ops",
+        "contention_penalty",
+        "elapsed",
+    )
+
+    def __init__(
+        self,
+        label: str,
+        threads: int,
+        items: int,
+        work_total: int,
+        work_max: int,
+        atomic_ops: int,
+        contention_penalty: float,
+        elapsed: float,
+    ) -> None:
+        self.label = label
+        self.threads = threads
+        self.items = items
+        self.work_total = work_total
+        self.work_max = work_max
+        self.atomic_ops = atomic_ops
+        self.contention_penalty = contention_penalty
+        self.elapsed = elapsed
+
+    def __repr__(self) -> str:
+        return (
+            f"RegionStats({self.label!r}, p={self.threads}, items={self.items}, "
+            f"work={self.work_total}, elapsed={self.elapsed:.0f})"
+        )
+
+
+class SimulatedPool:
+    """A pool of ``threads`` virtual threads with a simulated clock.
+
+    Parameters
+    ----------
+    threads:
+        Number of virtual threads; 1 reproduces serial execution (plus
+        region overheads, as a real 1-thread OpenMP run would pay).
+    cost_model:
+        Constants converting charges to simulated time.
+    """
+
+    def __init__(
+        self,
+        threads: int = 1,
+        cost_model: CostModel | None = None,
+    ) -> None:
+        if threads < 1:
+            raise SchedulerError(f"threads must be >= 1, got {threads}")
+        self.threads = int(threads)
+        self.cost_model = cost_model or DEFAULT_COST_MODEL
+        self._clock = 0.0
+        self._regions: list[RegionStats] = []
+        self._in_region = False
+
+    # ------------------------------------------------------------------
+    # clock
+    # ------------------------------------------------------------------
+
+    @property
+    def clock(self) -> float:
+        """Total simulated time elapsed on this pool."""
+        return self._clock
+
+    @property
+    def regions(self) -> list[RegionStats]:
+        """Accounting records of every completed region, in order."""
+        return list(self._regions)
+
+    def reset(self) -> None:
+        """Zero the clock and drop region records."""
+        self._clock = 0.0
+        self._regions = []
+
+    def mark(self) -> float:
+        """Current clock value, for phase timing via subtraction."""
+        return self._clock
+
+    def elapsed_since(self, mark: float) -> float:
+        """Simulated time since a previous :meth:`mark`."""
+        return self._clock - mark
+
+    # ------------------------------------------------------------------
+    # partitioning
+    # ------------------------------------------------------------------
+
+    def partition(self, count: int) -> list[range]:
+        """Static contiguous split of ``range(count)`` over the threads.
+
+        Mirrors Algorithm 1's "distribute vertices to V_1..V_pmax in
+        ascending vertex id".  Threads receive near-equal slices; the
+        first ``count % threads`` slices are one longer.
+        """
+        p = self.threads
+        base, extra = divmod(count, p)
+        ranges: list[range] = []
+        start = 0
+        for t in range(p):
+            size = base + (1 if t < extra else 0)
+            ranges.append(range(start, start + size))
+            start += size
+        return ranges
+
+    # ------------------------------------------------------------------
+    # regions
+    # ------------------------------------------------------------------
+
+    def parallel_for(
+        self,
+        items: Sequence[T],
+        fn: Callable[[T, ThreadContext], R],
+        label: str = "parallel_for",
+        chunking: str = "static",
+        grain: int = 64,
+    ) -> list[R]:
+        """Run ``fn(item, ctx)`` for every item; return results in order.
+
+        ``chunking='static'`` gives each virtual thread one contiguous
+        slice (OpenMP ``schedule(static)``); ``'dynamic'`` deals
+        ``grain``-sized chunks round-robin (``schedule(dynamic, grain)``)
+        which improves simulated load balance on skewed work.
+        """
+        if self._in_region:
+            raise SchedulerError("nested parallel regions are not supported")
+        if chunking not in ("static", "dynamic"):
+            raise SchedulerError(f"unknown chunking {chunking!r}")
+        count = len(items)
+        results: list[R] = [None] * count  # type: ignore[list-item]
+        contexts = [
+            ThreadContext(t, self.cost_model) for t in range(self.threads)
+        ]
+        if chunking == "static":
+            assignment = self.partition(count)
+        else:
+            assignment = self._dynamic_assignment(count, grain)
+        self._in_region = True
+        try:
+            for t, idx_range in enumerate(assignment):
+                ctx = contexts[t]
+                for i in idx_range:
+                    results[i] = fn(items[i], ctx)
+        finally:
+            self._in_region = False
+        self._close_region(label, count, contexts)
+        return results
+
+    def _dynamic_assignment(self, count: int, grain: int) -> list[list[int]]:
+        """Deal ``grain``-sized chunks of indices round-robin to threads."""
+        if grain < 1:
+            raise SchedulerError("grain must be >= 1")
+        buckets: list[list[int]] = [[] for _ in range(self.threads)]
+        chunk_start = 0
+        t = 0
+        while chunk_start < count:
+            chunk_end = min(chunk_start + grain, count)
+            buckets[t].extend(range(chunk_start, chunk_end))
+            chunk_start = chunk_end
+            t = (t + 1) % self.threads
+        return buckets
+
+    def _close_region(
+        self, label: str, items: int, contexts: list[ThreadContext]
+    ) -> None:
+        """Fold per-thread charges into a region record and the clock."""
+        cost = self.cost_model
+        work_total = sum(ctx.work for ctx in contexts)
+        work_max = max(ctx.work for ctx in contexts)
+        atomic_ops = sum(ctx.atomic_ops for ctx in contexts)
+        local_max = max(ctx.local_time for ctx in contexts)
+        penalty = self._contention_penalty(contexts)
+        elapsed = (
+            local_max
+            + penalty
+            + cost.spawn_cost * self.threads
+            + cost.barrier_cost
+        )
+        self._clock += elapsed
+        self._regions.append(
+            RegionStats(
+                label=label,
+                threads=self.threads,
+                items=items,
+                work_total=work_total,
+                work_max=work_max,
+                atomic_ops=atomic_ops,
+                contention_penalty=penalty,
+                elapsed=elapsed,
+            )
+        )
+
+    def _contention_penalty(self, contexts: list[ThreadContext]) -> float:
+        """Serialized time for atomics shared across threads.
+
+        For each location, the ops issued beyond the single busiest
+        thread's share must queue behind it; each queued op costs
+        ``contended_atomic_cost`` on the region's critical path.
+        """
+        if self.threads == 1:
+            return 0.0
+        totals: dict[object, int] = {}
+        maxima: dict[object, int] = {}
+        for ctx in contexts:
+            for loc, ops in ctx.atomic_locations.items():
+                totals[loc] = totals.get(loc, 0) + ops
+                if ops > maxima.get(loc, 0):
+                    maxima[loc] = ops
+        queued = sum(total - maxima[loc] for loc, total in totals.items())
+        return queued * self.cost_model.contended_atomic_cost
+
+    @contextmanager
+    def serial_region(self, label: str = "serial") -> Iterator[ThreadContext]:
+        """Charge work from purely sequential code onto the clock.
+
+        No spawn/barrier overhead is applied — this is the accounting
+        path for the serial baselines (LCPS, BKS) and for sequential
+        stretches inside parallel algorithms.
+        """
+        if self._in_region:
+            raise SchedulerError("nested regions are not supported")
+        ctx = ThreadContext(0, self.cost_model)
+        self._in_region = True
+        try:
+            yield ctx
+        finally:
+            self._in_region = False
+        self._clock += ctx.local_time
+        self._regions.append(
+            RegionStats(
+                label=label,
+                threads=1,
+                items=0,
+                work_total=ctx.work,
+                work_max=ctx.work,
+                atomic_ops=ctx.atomic_ops,
+                contention_penalty=0.0,
+                elapsed=ctx.local_time,
+            )
+        )
+
+    def __repr__(self) -> str:
+        return f"SimulatedPool(threads={self.threads}, clock={self._clock:.0f})"

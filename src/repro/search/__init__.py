@@ -1,0 +1,55 @@
+"""Subgraph search on the HCD: metrics, BKS baseline, parallel PBKS."""
+
+from repro.search.best_k import BestKResult, find_best_k
+from repro.search.bks import bks_search, build_coreness_sorted_adjacency
+from repro.search.clique import is_clique, maximum_clique
+from repro.search.coreapp import coreapp_densest
+from repro.search.densest import (
+    DensestResult,
+    exact_densest,
+    optd_densest,
+    pbks_densest,
+)
+from repro.search.metrics import (
+    Metric,
+    combine_metrics,
+    get_metric,
+    metric_names,
+    register_metric,
+    type_a_metrics,
+    type_b_metrics,
+)
+from repro.search.pbks import pbks_search
+from repro.search.preprocessing import (
+    NeighborCorenessCounts,
+    preprocess_neighbor_counts,
+)
+from repro.search.primary_values import GraphTotals, PrimaryValues
+from repro.search.result import SearchResult
+
+__all__ = [
+    "Metric",
+    "combine_metrics",
+    "register_metric",
+    "get_metric",
+    "metric_names",
+    "type_a_metrics",
+    "type_b_metrics",
+    "PrimaryValues",
+    "GraphTotals",
+    "NeighborCorenessCounts",
+    "preprocess_neighbor_counts",
+    "SearchResult",
+    "bks_search",
+    "build_coreness_sorted_adjacency",
+    "pbks_search",
+    "pbks_densest",
+    "optd_densest",
+    "exact_densest",
+    "coreapp_densest",
+    "DensestResult",
+    "maximum_clique",
+    "is_clique",
+    "find_best_k",
+    "BestKResult",
+]

@@ -1,0 +1,159 @@
+"""Finding the best k (paper Section VI, "Finding the Best k").
+
+Instead of scoring individual k-cores, this extension scores every
+*k-core set* ``K_k`` (the union of all k-cores for a given k) and
+returns the ``k`` whose set scores highest — the parameter-selection
+problem of Chu et al. (ICDE 2020).  It reuses the PBKS paradigm:
+per-vertex contributions are indexed by coreness level instead of tree
+node, and the level totals are suffix-accumulated from ``kmax`` down
+(``K_k`` contains every shell with coreness >= k).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.vertex_rank import VertexRankResult, compute_vertex_rank
+from repro.graph.graph import Graph
+from repro.parallel.atomics import AtomicArray
+from repro.parallel.scheduler import SimulatedPool
+from repro.search.metrics import Metric, get_metric
+from repro.search.preprocessing import (
+    NeighborCorenessCounts,
+    preprocess_neighbor_counts,
+)
+from repro.search.primary_values import GraphTotals, PrimaryValues
+
+__all__ = ["BestKResult", "find_best_k"]
+
+_N, _M, _B, _TRI, _TRIP = range(5)
+
+
+@dataclass
+class BestKResult:
+    """Scores of every k-core set and the winning k."""
+
+    metric_name: str
+    best_k: int
+    best_score: float
+    scores: np.ndarray  # score of K_k for every k in 0..kmax
+    values: np.ndarray  # (kmax+1, 5) primary values of every K_k
+
+
+def find_best_k(
+    graph: Graph,
+    coreness: np.ndarray,
+    metric: Metric | str,
+    pool: SimulatedPool,
+    counts: NeighborCorenessCounts | None = None,
+    rank_result: VertexRankResult | None = None,
+) -> BestKResult:
+    """Score every k-core set and return the best ``k``.
+
+    Contributions are exactly PBKS's, but credited to the coreness
+    level at which the motif appears; a suffix sum over levels then
+    yields every ``K_k``'s primary values in one pass.
+    """
+    if isinstance(metric, str):
+        metric = get_metric(metric)
+    coreness = np.asarray(coreness, dtype=np.int64)
+    n = graph.num_vertices
+    totals = GraphTotals.of(graph)
+    kmax = int(coreness.max()) if n else 0
+    if counts is None:
+        counts = preprocess_neighbor_counts(graph, coreness, pool)
+    levels = AtomicArray((kmax + 1) * 5, dtype=np.float64, name="bestk_vals")
+    indptr, indices = graph.indptr, graph.indices
+    degrees = graph.degrees()
+
+    def contribute_a(v: int, ctx) -> None:
+        ctx.charge(3)
+        k = int(coreness[v])
+        gt = int(counts.gt[v])
+        eq = int(counts.eq[v])
+        lt = int(counts.lt[v])
+        levels.add(ctx, k * 5 + _N, 1.0)
+        levels.add(ctx, k * 5 + _M, gt + 0.5 * eq)
+        levels.add(ctx, k * 5 + _B, lt - gt)
+
+    pool.parallel_for(
+        range(n), contribute_a, label="bestk:typeA", chunking="dynamic", grain=32
+    )
+
+    if metric.kind == "B":
+        if rank_result is None:
+            rank_result = compute_vertex_rank(graph, coreness, pool)
+        ranks = rank_result.rank
+
+        def contribute_b(v: int, ctx) -> None:
+            dv = int(degrees[v])
+            cv = int(coreness[v])
+            row_v = indices[indptr[v] : indptr[v + 1]]
+            for u in row_v:
+                u = int(u)
+                ctx.charge(1)
+                du = int(degrees[u])
+                if (du, u) >= (dv, v):
+                    continue
+                for w in indices[indptr[u] : indptr[u + 1]]:
+                    w = int(w)
+                    ctx.charge(2)
+                    if w == v:
+                        continue
+                    pos = int(np.searchsorted(row_v, w))
+                    if pos >= row_v.size or row_v[pos] != w:
+                        continue
+                    if ranks[w] < ranks[u] and ranks[w] < ranks[v]:
+                        levels.add(ctx, int(coreness[w]) * 5 + _TRI, 1.0)
+            ge = int(counts.gt[v] + counts.eq[v])
+            ctx.charge(1)
+            levels.add(ctx, cv * 5 + _TRIP, ge * (ge - 1) / 2.0)
+            lower: dict[int, int] = {}
+            for u in row_v:
+                u = int(u)
+                ctx.charge(1)
+                cu = int(coreness[u])
+                if cu < cv:
+                    lower[cu] = lower.get(cu, 0) + 1
+            gt_running = ge
+            for k in sorted(lower, reverse=True):
+                cnt_k = lower[k]
+                ctx.charge(1)
+                levels.add(
+                    ctx,
+                    k * 5 + _TRIP,
+                    cnt_k * (cnt_k - 1) / 2.0 + gt_running * cnt_k,
+                )
+                gt_running += cnt_k
+
+        pool.parallel_for(
+            range(n), contribute_b, label="bestk:typeB", chunking="dynamic", grain=4
+        )
+
+    per_level = levels.data.reshape(kmax + 1, 5)
+    # Suffix accumulation: K_k = union of shells >= k.
+    values = np.cumsum(per_level[::-1], axis=0)[::-1].copy()
+    with pool.serial_region("bestk:suffix") as ctx:
+        ctx.charge(kmax + 1)
+
+    scores = np.empty(kmax + 1, dtype=np.float64)
+
+    def score_level(k: int, ctx) -> None:
+        ctx.charge(1)
+        n_, m_, b_, tri, trip = values[k]
+        scores[k] = metric(
+            PrimaryValues(n=n_, m=m_, b=b_, triangles=tri, triplets=trip),
+            totals,
+        )
+
+    pool.parallel_for(range(kmax + 1), score_level, label="bestk:score")
+    best = int(np.argmax(scores))
+    return BestKResult(
+        metric_name=metric.name,
+        best_k=best,
+        best_score=float(scores[best]),
+        scores=scores,
+        values=values,
+    )

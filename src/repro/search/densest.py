@@ -1,0 +1,177 @@
+"""Densest-subgraph search: PBKS-D, and an exact flow-based reference.
+
+``PBKS-D`` (paper Section V-C) is PBKS instantiated with the average-
+degree metric: the returned k-core is a 0.5-approximation of the
+densest subgraph, and in practice matches ``Opt-D`` (the BKS-based
+optimal-best-core search) exactly — both optimize the same objective
+over the same candidate set, so their outputs coincide by construction.
+
+For small graphs an exact densest subgraph (max average degree over
+*all* subgraphs, not only k-cores) is provided via Goldberg's binary
+search on min-cuts, using :mod:`scipy`'s max-flow when available; the
+test suite uses it to verify the 0.5-approximation guarantee.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+import numpy as np
+
+from repro.core.hcd import HCD
+from repro.graph.graph import Graph
+from repro.parallel.scheduler import SimulatedPool
+from repro.search.bks import bks_search
+from repro.search.pbks import pbks_search
+from repro.search.preprocessing import NeighborCorenessCounts
+from repro.search.result import SearchResult
+
+__all__ = ["DensestResult", "pbks_densest", "optd_densest", "exact_densest"]
+
+
+@dataclass
+class DensestResult:
+    """A densest-subgraph answer."""
+
+    members: np.ndarray
+    average_degree: float
+    search: SearchResult | None = None
+
+    @property
+    def size(self) -> int:
+        """Number of vertices in the reported subgraph."""
+        return int(self.members.size)
+
+
+def pbks_densest(
+    graph: Graph,
+    coreness: np.ndarray,
+    hcd: HCD,
+    pool: SimulatedPool,
+    counts: NeighborCorenessCounts | None = None,
+) -> DensestResult:
+    """PBKS-D: the k-core with the highest average degree (parallel)."""
+    result = pbks_search(
+        graph, coreness, hcd, "average_degree", pool, counts=counts
+    )
+    return DensestResult(
+        members=result.best_members(),
+        average_degree=result.best_score,
+        search=result,
+    )
+
+
+def optd_densest(
+    graph: Graph,
+    coreness: np.ndarray,
+    hcd: HCD,
+    pool: SimulatedPool | None = None,
+) -> DensestResult:
+    """Opt-D: the same objective computed with the serial BKS engine."""
+    result = bks_search(graph, coreness, hcd, "average_degree", pool)
+    return DensestResult(
+        members=result.best_members(),
+        average_degree=result.best_score,
+        search=result,
+    )
+
+
+def exact_densest(graph: Graph) -> DensestResult:
+    """Exact densest subgraph via Goldberg's min-cut construction.
+
+    Maximizes density ``rho(S) = m(S) / n(S)`` (half the average
+    degree) over all non-empty subgraphs.  Density is rational with
+    denominator <= n, so a Dinkelbach iteration over exact fractions
+    terminates at the true optimum with small integral capacities.
+
+    Requires :mod:`scipy`; intended for small graphs (tests, Table IV
+    quality checks), not the benchmark path.
+    """
+    from scipy.sparse import csr_matrix
+    from scipy.sparse.csgraph import maximum_flow
+
+    n = graph.num_vertices
+    m = graph.num_edges
+    if n == 0 or m == 0:
+        return DensestResult(
+            members=np.arange(min(n, 1), dtype=np.int64), average_degree=0.0
+        )
+    degrees = graph.degrees().astype(np.int64)
+    edge_list = graph.edge_array()
+
+    def cut_keeps_vertices(g_num: int, g_den: int) -> np.ndarray:
+        """Vertices on the source side for density guess g = g_num/g_den.
+
+        Goldberg's network, scaled by 2*g_den to keep capacities
+        integral: source->v with m' = 2*den*m... uses the standard
+        construction s -> v (cap m_scaled), v -> t (cap
+        m_scaled + 2*g*den - deg*den), u <-> v (cap den) per edge.
+        """
+        scale = g_den
+        source, sink = n, n + 1
+        rows: list[int] = []
+        cols: list[int] = []
+        caps: list[int] = []
+        big = m * scale  # >= any useful capacity
+        for v in range(n):
+            rows.append(source)
+            cols.append(v)
+            caps.append(big)
+            cap_t = big + 2 * g_num - int(degrees[v]) * scale
+            rows.append(v)
+            cols.append(sink)
+            caps.append(max(cap_t, 0))
+        for u, v in edge_list:
+            rows.extend((int(u), int(v)))
+            cols.extend((int(v), int(u)))
+            caps.extend((scale, scale))
+        mat = csr_matrix(
+            (np.asarray(caps, dtype=np.int64), (rows, cols)),
+            shape=(n + 2, n + 2),
+        )
+        flow = maximum_flow(mat, source, sink)
+        residual = mat - flow.flow
+        # BFS on positive-residual arcs from the source
+        keep = np.zeros(n + 2, dtype=bool)
+        keep[source] = True
+        stack = [source]
+        res = residual.tolil()
+        while stack:
+            x = stack.pop()
+            row = res.rows[x]
+            data = res.data[x]
+            for y, c in zip(row, data):
+                if c > 0 and not keep[y]:
+                    keep[y] = True
+                    stack.append(y)
+        return np.flatnonzero(keep[:n])
+
+    # Dinkelbach iteration: probe at the current best density rho (an
+    # exact fraction with denominator <= n, so capacities stay small).
+    # The min cut at guess g maximizes |S| (rho(S) - g); when a denser
+    # subgraph exists its source side has density strictly above g, so
+    # each round makes strict progress and the loop ends at the exact
+    # optimum.  (A plain binary search on Fractions would square the
+    # denominators every step and overflow the flow capacities.)
+    best_members = np.arange(n, dtype=np.int64)
+    rho = Fraction(m, n)
+    while True:
+        side = cut_keeps_vertices(rho.numerator, rho.denominator)
+        if side.size == 0:
+            break
+        inside = np.zeros(n, dtype=bool)
+        inside[side] = True
+        side_edges = int(
+            sum(1 for u, v in edge_list if inside[u] and inside[v])
+        )
+        density = Fraction(side_edges, int(side.size))
+        if density <= rho:
+            break
+        best_members = side
+        rho = density
+    sub, _ = graph.induced_subgraph(best_members)
+    return DensestResult(
+        members=best_members,
+        average_degree=sub.average_degree(),
+    )

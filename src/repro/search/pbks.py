@@ -1,0 +1,262 @@
+"""PBKS — parallel subgraph search on the HCD (paper Section IV).
+
+PBKS finds the k-core with the highest community score in three
+vertex-centric stages (Algorithm 3):
+
+1. every vertex computes, in parallel, its *contribution* to the
+   primary values of its tree node — each motif (vertex, edge,
+   boundary edge, triangle, triplet) is counted exactly once, at the
+   motif member with the lowest vertex rank;
+2. a parallel bottom-up tree accumulation turns per-node contributions
+   into the primary values of each node's original k-core;
+3. every node's score is evaluated in parallel and the argmax returned.
+
+Type-A metrics (Algorithm 4) need only the O(n) vertex/edge/boundary
+contributions, answered from the shared O(m) preprocessing
+(:mod:`repro.search.preprocessing`).  Type-B metrics (Algorithm 5)
+additionally count triangles in O(m^1.5) via degree-ordered edge
+direction and triplets in O(m) via the paper's two-case center count.
+Both are work-efficient: the step counts asymptotically match the best
+sequential complexity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.hcd import HCD
+from repro.core.vertex_rank import VertexRankResult
+from repro.graph.graph import Graph
+from repro.parallel.accumulate import tree_accumulate
+from repro.parallel.atomics import AtomicArray
+from repro.parallel.scheduler import SimulatedPool
+from repro.search.metrics import Metric, get_metric
+from repro.search.preprocessing import (
+    NeighborCorenessCounts,
+    preprocess_neighbor_counts,
+)
+from repro.search.primary_values import GraphTotals, PrimaryValues
+from repro.search.result import SearchResult
+
+__all__ = ["pbks_search", "pbks_type_a_contributions", "pbks_type_b_contributions"]
+
+# column order of the values matrix
+_N, _M, _B, _TRI, _TRIP = range(5)
+
+
+def pbks_type_a_contributions(
+    graph: Graph,
+    coreness: np.ndarray,
+    hcd: HCD,
+    counts: NeighborCorenessCounts,
+    pool: SimulatedPool,
+    out: AtomicArray,
+    num_nodes: int,
+) -> None:
+    """Algorithm 4 lines 2-9: per-vertex (n, m, b) contributions.
+
+    Each vertex adds, to its tree node: one vertex; ``gt + eq/2`` new
+    edges (equal-coreness edges are shared between both endpoints);
+    and ``lt - gt`` boundary edges (``lt`` edges leave the new core,
+    ``gt`` former boundary edges become internal).
+    """
+    tid = hcd.tid
+
+    def contribute(v: int, ctx) -> None:
+        ctx.charge(3)
+        node = int(tid[v])
+        gt = int(counts.gt[v])
+        eq = int(counts.eq[v])
+        lt = int(counts.lt[v])
+        out.add(ctx, node * 5 + _N, 1.0)
+        out.add(ctx, node * 5 + _M, gt + 0.5 * eq)
+        out.add(ctx, node * 5 + _B, lt - gt)
+
+    pool.parallel_for(
+        range(graph.num_vertices),
+        contribute,
+        label="pbks:typeA",
+        chunking="dynamic",
+        grain=32,
+    )
+
+
+def pbks_type_b_contributions(
+    graph: Graph,
+    coreness: np.ndarray,
+    hcd: HCD,
+    counts: NeighborCorenessCounts,
+    ranks: np.ndarray,
+    pool: SimulatedPool,
+    out: AtomicArray,
+    num_nodes: int,
+) -> None:
+    """Algorithm 5 lines 2-15: triangle and triplet contributions.
+
+    Triangles: each edge is directed from its lower-(degree, id)
+    endpoint; wedges closed through the directed edge are tested for
+    the third edge, and the triangle is credited to the tree node of
+    its lowest-rank corner — O(m^1.5) work.
+
+    Triplets: all triplets centered at ``v`` are credited by the level
+    at which they appear; the level-``c(v)`` count is ``C(ge, 2)`` and
+    each lower level ``k`` adds ``C(cnt_k, 2) + ge * cnt_k`` triplets
+    to the node of any coreness-``k`` neighbor (all such neighbors
+    share a tree node, because they are connected through ``v``).
+    """
+    tid = hcd.tid
+    indptr, indices = graph.indptr, graph.indices
+    degrees = graph.degrees()
+
+    # --- triangles (lines 3-7) ---
+    # The paper parallelizes the edge loop itself ("for each u in N(v)
+    # do in parallel"), which is what balances hub vertices: iterate
+    # the m directed edges (v, u) with u the lower-(degree, id)
+    # endpoint, and close wedges through u.
+    directed_edges: list[tuple[int, int]] = []
+    for v in range(graph.num_vertices):
+        dv = int(degrees[v])
+        for u in indices[indptr[v] : indptr[v + 1]]:
+            u = int(u)
+            if (int(degrees[u]), u) < (dv, v):
+                directed_edges.append((v, u))
+
+    def close_wedges(edge: tuple[int, int], ctx) -> None:
+        v, u = edge
+        ctx.charge(1)
+        row_v = indices[indptr[v] : indptr[v + 1]]
+        for w in indices[indptr[u] : indptr[u + 1]]:
+            w = int(w)
+            ctx.charge(1)
+            if w == v:
+                continue
+            # membership test w in N(v): binary search on sorted CSR
+            pos = int(np.searchsorted(row_v, w))
+            ctx.charge(1)
+            if pos >= row_v.size or row_v[pos] != w:
+                continue
+            if ranks[w] < ranks[u] and ranks[w] < ranks[v]:
+                out.add(ctx, int(tid[w]) * 5 + _TRI, 1.0)
+
+    pool.parallel_for(
+        directed_edges,
+        close_wedges,
+        label="pbks:typeB_triangles",
+        chunking="dynamic",
+        grain=16,
+    )
+
+    def contribute(v: int, ctx) -> None:
+        row_v = indices[indptr[v] : indptr[v + 1]]
+        # --- triplets (lines 8-15) ---
+        ge = int(counts.gt[v] + counts.eq[v])
+        ctx.charge(1)
+        out.add(ctx, int(tid[v]) * 5 + _TRIP, ge * (ge - 1) / 2.0)
+        # bucket v's lower-coreness neighbors by their coreness
+        lower: dict[int, tuple[int, int]] = {}  # k -> (count, witness)
+        cv = int(coreness[v])
+        for u in row_v:
+            u = int(u)
+            ctx.charge(1)
+            cu = int(coreness[u])
+            if cu < cv:
+                cnt, _ = lower.get(cu, (0, u))
+                lower[cu] = (cnt + 1, u)
+        gt_running = ge
+        for k in sorted(lower, reverse=True):
+            cnt_k, witness = lower[k]
+            ctx.charge(1)
+            out.add(
+                ctx,
+                int(tid[witness]) * 5 + _TRIP,
+                cnt_k * (cnt_k - 1) / 2.0 + gt_running * cnt_k,
+            )
+            gt_running += cnt_k
+
+    pool.parallel_for(
+        range(graph.num_vertices),
+        contribute,
+        label="pbks:typeB_triplets",
+        chunking="dynamic",
+        grain=16,
+    )
+
+
+def pbks_search(
+    graph: Graph,
+    coreness: np.ndarray,
+    hcd: HCD,
+    metric: Metric | str,
+    pool: SimulatedPool,
+    counts: NeighborCorenessCounts | None = None,
+    rank_result: VertexRankResult | None = None,
+) -> SearchResult:
+    """Find the best-scoring k-core on ``pool`` (Algorithm 3 framework).
+
+    ``counts`` is the shared preprocessing — pass a precomputed value
+    to amortize it across metrics, as the paper does.  ``rank_result``
+    supplies vertex ranks for motif attribution (recomputed if absent;
+    PBKS normally reuses PHCD's).
+    """
+    if isinstance(metric, str):
+        metric = get_metric(metric)
+    coreness = np.asarray(coreness, dtype=np.int64)
+    t = hcd.num_nodes
+    totals = GraphTotals.of(graph)
+    if t == 0:
+        return SearchResult(
+            metric_name=metric.name,
+            best_node=-1,
+            best_score=float("-inf"),
+            best_k=-1,
+            scores=np.empty(0),
+            values=np.empty((0, 5)),
+            hcd=hcd,
+        )
+    if counts is None:
+        counts = preprocess_neighbor_counts(graph, coreness, pool)
+
+    contributions = AtomicArray(t * 5, dtype=np.float64, name="pbks_vals")
+    pbks_type_a_contributions(
+        graph, coreness, hcd, counts, pool, contributions, t
+    )
+    if metric.kind == "B":
+        if rank_result is None:
+            from repro.core.vertex_rank import compute_vertex_rank
+
+            rank_result = compute_vertex_rank(graph, coreness, pool)
+        pbks_type_b_contributions(
+            graph,
+            coreness,
+            hcd,
+            counts,
+            rank_result.rank,
+            pool,
+            contributions,
+            t,
+        )
+
+    per_node = contributions.data.reshape(t, 5)
+    accumulated = tree_accumulate(pool, hcd.parent, per_node, label="pbks:accum")
+
+    scores = np.empty(t, dtype=np.float64)
+
+    def score_node(i: int, ctx) -> None:
+        ctx.charge(1)
+        n_, m_, b_, tri, trip = accumulated[i]
+        scores[i] = metric(
+            PrimaryValues(n=n_, m=m_, b=b_, triangles=tri, triplets=trip),
+            totals,
+        )
+
+    pool.parallel_for(range(t), score_node, label="pbks:score")
+    best = int(np.argmax(scores))
+    return SearchResult(
+        metric_name=metric.name,
+        best_node=best,
+        best_score=float(scores[best]),
+        best_k=int(hcd.node_coreness[best]),
+        scores=scores,
+        values=accumulated,
+        hcd=hcd,
+    )

@@ -1,0 +1,60 @@
+"""Primary values of subgraphs (paper Section II-D).
+
+Community scoring metrics are all defined over five *primary values*
+of a subgraph ``S``:
+
+* ``n(S)`` — vertices,
+* ``m(S)`` — internal edges,
+* ``b(S)`` — boundary edges (one endpoint inside, one outside),
+* ``triangles(S)`` — triangles,
+* ``triplets(S)`` — connected vertex triples with >= 2 internal edges.
+
+:class:`PrimaryValues` is the container both BKS and PBKS produce per
+k-core; :class:`GraphTotals` carries the whole-graph ``n``/``m`` some
+metrics (cut ratio, modularity) need as context.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.graph import Graph
+
+__all__ = ["PrimaryValues", "GraphTotals"]
+
+
+@dataclass(frozen=True)
+class PrimaryValues:
+    """Primary values of one subgraph (typically one k-core)."""
+
+    n: float = 0.0
+    m: float = 0.0
+    b: float = 0.0
+    triangles: float = 0.0
+    triplets: float = 0.0
+
+    def __add__(self, other: "PrimaryValues") -> "PrimaryValues":
+        return PrimaryValues(
+            n=self.n + other.n,
+            m=self.m + other.m,
+            b=self.b + other.b,
+            triangles=self.triangles + other.triangles,
+            triplets=self.triplets + other.triplets,
+        )
+
+    def as_tuple(self) -> tuple[float, float, float, float, float]:
+        """``(n, m, b, triangles, triplets)``."""
+        return (self.n, self.m, self.b, self.triangles, self.triplets)
+
+
+@dataclass(frozen=True)
+class GraphTotals:
+    """Whole-graph context for metrics that compare S to G."""
+
+    n: int
+    m: int
+
+    @classmethod
+    def of(cls, graph: Graph) -> "GraphTotals":
+        """Totals of ``graph``."""
+        return cls(n=graph.num_vertices, m=graph.num_edges)

@@ -1,0 +1,62 @@
+"""Result container for subgraph search over the HCD."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.hcd import HCD
+from repro.search.primary_values import PrimaryValues
+
+__all__ = ["SearchResult"]
+
+
+@dataclass
+class SearchResult:
+    """Outcome of a best-k-core search (BKS or PBKS).
+
+    Attributes
+    ----------
+    metric_name:
+        Name of the community scoring metric optimized.
+    best_node:
+        Tree node id of the winning k-core (-1 when the HCD is empty).
+    best_score:
+        Its score.
+    best_k:
+        Coreness of the winning k-core.
+    scores:
+        Score of every tree node's original k-core.
+    values:
+        Accumulated primary values of every tree node's original
+        k-core, as an ``(|T|, 5)`` array in ``(n, m, b, tri, trip)``
+        column order.
+    hcd:
+        The hierarchy searched (for reconstructing members).
+    """
+
+    metric_name: str
+    best_node: int
+    best_score: float
+    best_k: int
+    scores: np.ndarray
+    values: np.ndarray
+    hcd: HCD
+
+    def best_members(self) -> np.ndarray:
+        """Vertex set of the winning k-core."""
+        if self.best_node < 0:
+            return np.empty(0, dtype=np.int64)
+        return self.hcd.reconstruct_core(self.best_node)
+
+    def node_values(self, node: int) -> PrimaryValues:
+        """Primary values of ``node``'s original k-core."""
+        n, m, b, tri, trip = self.values[node]
+        return PrimaryValues(n=n, m=m, b=b, triangles=tri, triplets=trip)
+
+    def __repr__(self) -> str:
+        return (
+            f"SearchResult({self.metric_name}, best_k={self.best_k}, "
+            f"score={self.best_score:.4f})"
+        )

@@ -1,0 +1,7 @@
+"""Union-find substrate: sequential, pivot-augmented, simulated wait-free."""
+
+from repro.unionfind.pivot import PivotUnionFind
+from repro.unionfind.sequential import UnionFind
+from repro.unionfind.waitfree import SimulatedWaitFreeUnionFind
+
+__all__ = ["UnionFind", "PivotUnionFind", "SimulatedWaitFreeUnionFind"]

@@ -1,0 +1,68 @@
+"""Classic sequential disjoint-set union (Tarjan & van Leeuwen).
+
+Union by rank with path compression; amortized O(alpha(n)) per
+operation.  Serves as the reference implementation for the pivot and
+wait-free variants and as the engine of the serial baselines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["UnionFind"]
+
+
+class UnionFind:
+    """Disjoint sets over the universe ``0..size-1``.
+
+    Operations mirror the paper's vocabulary (Section III-B):
+    ``make_set`` happens at construction, plus :meth:`find`,
+    :meth:`union`, and :meth:`same_set`.
+    """
+
+    __slots__ = ("parent", "rank", "_components")
+
+    def __init__(self, size: int) -> None:
+        self.parent = np.arange(size, dtype=np.int64)
+        self.rank = np.zeros(size, dtype=np.int8)
+        self._components = int(size)
+
+    def find(self, x: int) -> int:
+        """Cardinal element (root) of ``x``'s set, with path compression."""
+        parent = self.parent
+        root = x
+        while parent[root] != root:
+            root = int(parent[root])
+        while parent[x] != root:
+            parent[x], x = root, int(parent[x])
+        return root
+
+    def union(self, x: int, y: int) -> int:
+        """Merge the sets of ``x`` and ``y``; return the new root."""
+        rx, ry = self.find(x), self.find(y)
+        if rx == ry:
+            return rx
+        rank = self.rank
+        if rank[rx] < rank[ry]:
+            rx, ry = ry, rx
+        self.parent[ry] = rx
+        if rank[rx] == rank[ry]:
+            rank[rx] += 1
+        self._components -= 1
+        return rx
+
+    def same_set(self, x: int, y: int) -> bool:
+        """Whether ``x`` and ``y`` are currently connected."""
+        return self.find(x) == self.find(y)
+
+    @property
+    def num_components(self) -> int:
+        """Number of disjoint sets remaining."""
+        return self._components
+
+    def component_labels(self) -> np.ndarray:
+        """Array mapping each element to its root (fully compressed)."""
+        return np.asarray([self.find(x) for x in range(self.parent.size)], dtype=np.int64)
+
+    def __len__(self) -> int:
+        return int(self.parent.size)

@@ -1,0 +1,155 @@
+"""Simulated wait-free union-find (Anderson & Woll, STOC'91).
+
+The paper runs PHCD's connectivity maintenance on a wait-free DSU whose
+total work is ``O(n sqrt(p) + m alpha(n) + F)`` for ``p`` threads and at
+most ``F`` CAS failures.  On this substrate the *logic* of the
+wait-free structure is executed sequentially (linking by index-rank via
+CAS, path splitting on find) while:
+
+* every CAS is charged to the active thread context as an atomic on the
+  touched parent slot, and
+* a deterministic failure process makes a configurable fraction of CAS
+  attempts spuriously fail and retry — exercising and accounting the
+  ``F`` term of the bound.
+
+Pivot maintenance follows Section III-B: the winning root's pivot is
+re-minimized after every successful link.  Because a failed CAS only
+retries (never corrupts state), results are identical to the sequential
+:class:`~repro.unionfind.pivot.PivotUnionFind` — which the test suite
+asserts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.parallel.context import ThreadContext
+from repro.unionfind.pivot import FIND_CHARGE
+
+__all__ = ["SimulatedWaitFreeUnionFind"]
+
+
+class _DeterministicFailures:
+    """Counter-based PRNG deciding which CAS attempts fail."""
+
+    __slots__ = ("_rate_num", "_rate_den", "_state")
+
+    def __init__(self, failure_rate: float, seed: int) -> None:
+        # store the rate as a fraction of 2**32 for branch-free compare
+        self._rate_num = int(max(0.0, min(1.0, failure_rate)) * (1 << 32))
+        self._rate_den = 1 << 32
+        self._state = (seed * 2654435761 + 1) & 0xFFFFFFFF
+
+    def next_fails(self) -> bool:
+        # xorshift32 step
+        x = self._state
+        x ^= (x << 13) & 0xFFFFFFFF
+        x ^= x >> 17
+        x ^= (x << 5) & 0xFFFFFFFF
+        self._state = x
+        return x < self._rate_num
+
+
+class SimulatedWaitFreeUnionFind:
+    """Wait-free DSU with pivots, charged CAS traffic, and failure injection.
+
+    Parameters
+    ----------
+    ranks:
+        Vertex-rank array defining pivot order (Definition 4).
+    failure_rate:
+        Probability that any single CAS attempt spuriously fails and is
+        retried; the retries are counted in :attr:`cas_failures` (the
+        paper's ``F``).
+    seed:
+        Seed of the deterministic failure process.
+    """
+
+    __slots__ = ("parent", "pivot", "_ranks", "_failures", "cas_failures", "cas_attempts")
+
+    def __init__(
+        self,
+        ranks: np.ndarray,
+        failure_rate: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        size = int(np.asarray(ranks).size)
+        self.parent = np.arange(size, dtype=np.int64)
+        self.pivot = np.arange(size, dtype=np.int64)
+        self._ranks = np.asarray(ranks, dtype=np.int64)
+        self._failures = _DeterministicFailures(failure_rate, seed)
+        self.cas_failures = 0
+        self.cas_attempts = 0
+
+    # ------------------------------------------------------------------
+
+    def _cas_parent(
+        self, slot: int, expected: int, value: int, ctx: ThreadContext | None
+    ) -> bool:
+        """One CAS attempt on ``parent[slot]`` with failure injection."""
+        self.cas_attempts += 1
+        if ctx is not None:
+            # Contention is keyed per exact slot: every successful link
+            # targets a distinct loser-root, so two threads only queue
+            # when they genuinely race for the same root.
+            ctx.atomic(("wfuf", slot))
+        if self._failures.next_fails():
+            self.cas_failures += 1
+            return False
+        if self.parent[slot] != expected:
+            return False
+        self.parent[slot] = value
+        return True
+
+    def find(self, x: int, ctx: ThreadContext | None = None) -> int:
+        """Root of ``x`` with path splitting (wait-free compression).
+
+        Charged at a flat unit — amortized O(alpha(n)) hops.
+        """
+        parent = self.parent
+        while parent[x] != x:
+            grand = int(parent[int(parent[x])])
+            # path splitting: point x at its grandparent (plain write is
+            # safe in Anderson-Woll)
+            parent[x] = grand
+            x = grand
+        if ctx is not None:
+            ctx.charge(FIND_CHARGE)
+        return int(x)
+
+    def union(self, x: int, y: int, ctx: ThreadContext | None = None) -> int:
+        """Merge by index-rank with CAS retry loop; returns the new root."""
+        while True:
+            rx = self.find(x, ctx)
+            ry = self.find(y, ctx)
+            if rx == ry:
+                return rx
+            # Link the higher id under the lower id (deterministic
+            # index-rank linking keeps trees shallow in expectation and,
+            # combined with splitting, gives the Anderson-Woll bound).
+            if rx > ry:
+                rx, ry = ry, rx
+            if self._cas_parent(ry, ry, rx, ctx):
+                # pivot re-minimization on the winning root
+                px, py = int(self.pivot[rx]), int(self.pivot[ry])
+                if self._ranks[py] < self._ranks[px]:
+                    self.pivot[rx] = py
+                return rx
+            # CAS failed (injected or raced) -> retry from fresh roots
+
+    def get_pivot(self, x: int, ctx: ThreadContext | None = None) -> int:
+        """Pivot (lowest-rank member) of ``x``'s component."""
+        return int(self.pivot[self.find(x, ctx)])
+
+    def same_set(self, x: int, y: int, ctx: ThreadContext | None = None) -> bool:
+        """Whether ``x`` and ``y`` are connected."""
+        return self.find(x, ctx) == self.find(y, ctx)
+
+    @property
+    def num_components(self) -> int:
+        """Number of disjoint sets (O(n) scan; intended for tests)."""
+        roots = {self.find(i) for i in range(self.parent.size)}
+        return len(roots)
+
+    def __len__(self) -> int:
+        return int(self.parent.size)

@@ -1,0 +1,106 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.decomposition import core_decomposition
+from repro.graph.generators import (
+    complete_graph,
+    core_chain,
+    cycle_graph,
+    erdos_renyi,
+    powerlaw_cluster,
+    star_graph,
+)
+from repro.graph.graph import Graph
+from repro.parallel.scheduler import SimulatedPool
+
+
+@pytest.fixture
+def triangle():
+    """K3 — the smallest 2-core."""
+    return Graph.from_edges([(0, 1), (1, 2), (0, 2)])
+
+
+@pytest.fixture
+def paper_like_graph():
+    """A graph shaped like the paper's Figure 1.
+
+    One 4-core (K5), two 3-cores hanging inside the same 2-core, and a
+    2-shell ring stitching them together.
+    """
+    edges = []
+    # 4-core: K5 on 0-4
+    for i in range(5):
+        for j in range(i + 1, 5):
+            edges.append((i, j))
+    # 3-core #1: K4 on 5-8, attached to the K5 through a 1-bridge edge
+    for i in range(5, 9):
+        for j in range(i + 1, 9):
+            edges.append((i, j))
+    edges.append((5, 0))
+    # 3-core #2: K4 on 9-12
+    for i in range(9, 13):
+        for j in range(i + 1, 13):
+            edges.append((i, j))
+    # 2-shell: a ring 13-17 touching both 3-cores
+    ring = [13, 14, 15, 16, 17]
+    for a, b in zip(ring, ring[1:] + ring[:1]):
+        edges.append((a, b))
+    edges.append((13, 5))
+    edges.append((15, 9))
+    return Graph.from_edges(edges)
+
+
+@pytest.fixture
+def chain_result():
+    """A core-chain graph with known ground-truth HCD."""
+    return core_chain([[5, 3, 2], [4, 2], [3, 2]])
+
+
+@pytest.fixture(params=[0, 1, 2, 3])
+def random_graph(request):
+    """A family of small random graphs across generator types."""
+    seed = request.param
+    if seed % 2 == 0:
+        return erdos_renyi(90, 0.06, seed=seed)
+    return powerlaw_cluster(90, 3, 0.3, seed=seed)
+
+
+@pytest.fixture(params=[1, 2, 4, 7])
+def pool(request):
+    """Pools at several thread counts."""
+    return SimulatedPool(threads=request.param)
+
+
+@pytest.fixture
+def serial_pool():
+    return SimulatedPool(threads=1)
+
+
+def nx_coreness(graph: Graph) -> np.ndarray:
+    """Reference coreness via networkx."""
+    import networkx as nx
+
+    g = nx.Graph()
+    g.add_nodes_from(range(graph.num_vertices))
+    g.add_edges_from(graph.edges())
+    core = nx.core_number(g)
+    return np.asarray([core[v] for v in range(graph.num_vertices)])
+
+
+@pytest.fixture
+def coreness_oracle():
+    """Callable computing reference coreness with networkx."""
+    return nx_coreness
+
+
+__all__ = [
+    "nx_coreness",
+    "complete_graph",
+    "cycle_graph",
+    "star_graph",
+    "core_decomposition",
+]

@@ -1,0 +1,167 @@
+"""Tests for datasets, engagement study, visualization, and stats."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.datasets import (
+    PAPER_STATS,
+    clear_cache,
+    dataset_abbrevs,
+    dataset_names,
+    get_spec,
+    load,
+)
+from repro.analysis.engagement import (
+    EngagementStudy,
+    mean_engagement_by_coreness,
+    mean_engagement_by_position,
+    pearson_correlation,
+    synthesize_engagement,
+)
+from repro.analysis.stats import format_table, geometric_mean, speedup
+from repro.analysis.visualization import ascii_tree, hierarchy_summary, to_dot
+from repro.core.decomposition import core_decomposition
+from repro.core.lcps import lcps_build_hcd
+from repro.errors import UnknownDatasetError
+
+
+class TestDatasets:
+    def test_ten_datasets(self):
+        assert len(dataset_names()) == 10
+        assert set(dataset_names()) == set(PAPER_STATS)
+
+    def test_abbrevs(self):
+        abbrevs = dataset_abbrevs()
+        assert abbrevs["as_skitter"] == "AS"
+        assert abbrevs["uk_2007_05"] == "UK"
+
+    def test_lookup_by_abbrev(self):
+        assert get_spec("LJ").name == "livejournal"
+
+    def test_unknown_dataset(self):
+        with pytest.raises(UnknownDatasetError):
+            get_spec("no_such_graph")
+
+    def test_load_caches(self):
+        a = load("as_skitter")
+        b = load("AS")
+        assert a is b
+        clear_cache()
+        c = load("AS")
+        assert c is not a
+        assert c.graph == a.graph  # deterministic regeneration
+
+    def test_smallest_dataset_properties(self):
+        ds = load("AS")
+        assert ds.graph.num_vertices > 0
+        assert ds.kmax == int(ds.coreness.max())
+        stats = ds.paper_stats()
+        assert stats["kmax"] == 111
+
+    def test_m_ordering_matches_paper(self):
+        # Table II lists datasets in ascending edge count; the stand-ins
+        # preserve that ordering.
+        sizes = [load(name).graph.num_edges for name in dataset_names()]
+        assert sizes == sorted(sizes)
+
+    def test_orkut_fewest_tree_nodes(self):
+        # |T| character: Orkut-like has the fewest tree nodes (paper: 253,
+        # smallest in Table II).
+        counts = {}
+        for name in ("orkut", "as_skitter", "uk_2007_05"):
+            ds = load(name)
+            hcd = lcps_build_hcd(ds.graph, ds.coreness)
+            counts[name] = hcd.num_nodes
+        assert counts["orkut"] < counts["as_skitter"] < counts["uk_2007_05"]
+
+
+class TestEngagement:
+    @pytest.fixture
+    def setting(self, paper_like_graph):
+        coreness = core_decomposition(paper_like_graph)
+        hcd = lcps_build_hcd(paper_like_graph, coreness)
+        return paper_like_graph, coreness, hcd
+
+    def test_synthesize_deterministic(self, setting):
+        _, coreness, hcd = setting
+        a = synthesize_engagement(coreness, hcd, seed=1)
+        b = synthesize_engagement(coreness, hcd, seed=1)
+        assert np.array_equal(a, b)
+        assert np.all(a >= 0)
+
+    def test_mean_by_coreness_keys(self, setting):
+        _, coreness, hcd = setting
+        eng = synthesize_engagement(coreness, hcd)
+        means = mean_engagement_by_coreness(coreness, eng)
+        assert set(means) == set(int(k) for k in np.unique(coreness))
+
+    def test_positive_correlation(self, setting):
+        _, coreness, hcd = setting
+        eng = synthesize_engagement(coreness, hcd, noise=0.5, seed=0)
+        corr = pearson_correlation(coreness.astype(float), eng)
+        assert corr > 0.5
+
+    def test_by_position_refines(self, setting):
+        _, coreness, hcd = setting
+        eng = synthesize_engagement(coreness, hcd)
+        by_pos = mean_engagement_by_position(coreness, hcd, eng)
+        assert all(isinstance(k, tuple) and len(k) == 2 for k in by_pos)
+
+    def test_study_position_gain(self, setting):
+        _, coreness, hcd = setting
+        study = EngagementStudy.run(coreness, hcd, seed=0)
+        # depth carries real signal -> position-aware estimate no worse
+        assert study.position_gain >= -1e-9
+        assert study.coreness_correlation > 0
+
+    def test_pearson_degenerate(self):
+        assert pearson_correlation(np.ones(5), np.arange(5)) == 0.0
+        assert pearson_correlation(np.arange(1), np.arange(1)) == 0.0
+
+
+class TestVisualization:
+    @pytest.fixture
+    def hcd(self, paper_like_graph):
+        coreness = core_decomposition(paper_like_graph)
+        return lcps_build_hcd(paper_like_graph, coreness)
+
+    def test_ascii_tree_mentions_all_nodes(self, hcd):
+        art = ascii_tree(hcd)
+        for node in range(hcd.num_nodes):
+            assert f"k={int(hcd.node_coreness[node])}" in art
+
+    def test_ascii_tree_truncates_vertices(self, hcd):
+        art = ascii_tree(hcd, max_vertices=1)
+        assert "..." in art
+
+    def test_dot_structure(self, hcd):
+        dot = to_dot(hcd)
+        assert dot.startswith("digraph")
+        assert dot.count("->") == int(np.sum(hcd.parent >= 0))
+        assert dot.rstrip().endswith("}")
+
+    def test_summary(self, hcd):
+        text = hierarchy_summary(hcd)
+        assert f"tree nodes : {hcd.num_nodes}" in text
+
+    def test_summary_empty(self):
+        from repro.core.hcd import HCDBuilder
+
+        assert hierarchy_summary(HCDBuilder(0).build()) == "empty hierarchy"
+
+
+class TestStats:
+    def test_format_table(self):
+        text = format_table(["a", "bb"], [[1, 22], [333, 4]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_geometric_mean(self):
+        assert geometric_mean([2, 8]) == pytest.approx(4.0)
+        assert geometric_mean([]) == 0.0
+
+    def test_speedup(self):
+        assert speedup(10.0, 2.0) == 5.0
+        assert speedup(1.0, 0.0) == float("inf")

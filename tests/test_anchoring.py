@@ -1,0 +1,104 @@
+"""Tests for the anchored k-core extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.decomposition import core_decomposition, k_core_members
+from repro.graph.generators import complete_graph, erdos_renyi
+from repro.graph.graph import Graph
+from repro.parallel.scheduler import SimulatedPool
+from repro.search.anchoring import anchored_k_core, greedy_anchors
+
+
+def chain_to_clique() -> Graph:
+    """K4 with a pendant path: anchoring the path end retains the path.
+
+    Vertices 0-3 form a K4 (coreness 3); 4-5-6 is a path where each
+    path vertex has one extra edge into the clique side:
+    4 adj {0, 5}, 5 adj {4, 6}, 6 adj {5}.
+    """
+    edges = [(u, v) for u in range(4) for v in range(u + 1, 4)]
+    edges += [(0, 4), (4, 5), (5, 6)]
+    return Graph.from_edges(edges)
+
+
+class TestAnchoredCore:
+    def test_no_anchors_is_k_core(self, random_graph):
+        coreness = core_decomposition(random_graph)
+        for k in (1, 2, 3):
+            anchored = anchored_k_core(random_graph, k)
+            assert np.array_equal(anchored, k_core_members(coreness, k))
+
+    def test_anchor_is_always_member(self):
+        g = chain_to_clique()
+        anchored = anchored_k_core(g, 2, anchors=[6])
+        assert 6 in anchored.tolist()
+
+    def test_anchoring_cascades_followers(self):
+        g = chain_to_clique()
+        plain = anchored_k_core(g, 2)
+        assert set(plain.tolist()) == {0, 1, 2, 3}
+        # anchoring the path end keeps 6 in, which keeps 5 (deg 2: 4,6),
+        # which keeps 4 (deg 2: 0, 5) — two followers beyond the anchor
+        anchored = anchored_k_core(g, 2, anchors=[6])
+        assert set(anchored.tolist()) == {0, 1, 2, 3, 4, 5, 6}
+
+    def test_superset_of_plain_core(self, random_graph):
+        rng = np.random.default_rng(0)
+        anchors = [int(v) for v in rng.integers(0, random_graph.num_vertices, 3)]
+        plain = set(anchored_k_core(random_graph, 3).tolist())
+        anchored = set(anchored_k_core(random_graph, 3, anchors).tolist())
+        assert plain <= anchored
+
+    def test_monotone_in_anchor_set(self):
+        g = chain_to_clique()
+        one = set(anchored_k_core(g, 2, [6]).tolist())
+        two = set(anchored_k_core(g, 2, [6, 5]).tolist())
+        assert one <= two
+
+    def test_members_satisfy_relaxed_constraint(self):
+        g = erdos_renyi(40, 0.08, seed=2)
+        anchors = [0, 1]
+        members = anchored_k_core(g, 3, anchors)
+        member_set = set(members.tolist())
+        for v in members:
+            v = int(v)
+            if v in anchors:
+                continue
+            inside = sum(1 for u in g.neighbors(v) if int(u) in member_set)
+            assert inside >= 3
+
+    def test_charges_pool(self, triangle):
+        pool = SimulatedPool()
+        anchored_k_core(triangle, 2, pool=pool)
+        assert pool.clock > 0
+
+
+class TestGreedyAnchors:
+    def test_finds_the_cascade(self):
+        g = chain_to_clique()
+        result = greedy_anchors(g, 2, budget=1)
+        assert result.anchors == [6]
+        assert result.total_gain == 3
+        assert set(result.members.tolist()) == set(range(7))
+
+    def test_stops_when_no_gain(self):
+        result = greedy_anchors(complete_graph(5), 4, budget=3)
+        assert result.anchors == []  # K5's 4-core is already everything
+        assert result.total_gain == 0
+
+    def test_budget_respected(self):
+        g = erdos_renyi(50, 0.06, seed=4)
+        result = greedy_anchors(g, 3, budget=2)
+        assert len(result.anchors) <= 2
+        assert len(result.gains) == len(result.anchors)
+
+    def test_gains_are_real(self):
+        g = erdos_renyi(50, 0.06, seed=5)
+        plain = anchored_k_core(g, 3).size
+        result = greedy_anchors(g, 3, budget=2)
+        assert result.members.size == plain + result.total_gain
+
+    def test_negative_budget(self, triangle):
+        with pytest.raises(ValueError):
+            greedy_anchors(triangle, 2, budget=-1)

@@ -1,0 +1,98 @@
+"""Tests for the best-k extension (scoring whole k-core sets)."""
+
+import numpy as np
+import pytest
+
+from repro.core.decomposition import core_decomposition, k_core_members
+from repro.graph.generators import powerlaw_cluster
+from repro.graph.graph import Graph
+from repro.graph.properties import subgraph_primary_values, triplet_count
+from repro.parallel.scheduler import SimulatedPool
+from repro.search.best_k import find_best_k
+from repro.search.metrics import get_metric
+from repro.search.primary_values import GraphTotals, PrimaryValues
+
+
+@pytest.fixture
+def graph():
+    return powerlaw_cluster(110, 3, 0.4, seed=6)
+
+
+class TestValuesOracle:
+    @pytest.mark.parametrize("metric", ["average_degree", "clustering_coefficient"])
+    def test_every_level_matches_direct(self, graph, metric):
+        coreness = core_decomposition(graph)
+        res = find_best_k(graph, coreness, metric, SimulatedPool(threads=3))
+        type_b = metric == "clustering_coefficient"
+        for k in range(int(coreness.max()) + 1):
+            members = k_core_members(coreness, k)
+            direct = subgraph_primary_values(graph, members)
+            row = res.values[k]
+            assert row[0] == direct["n"]
+            assert row[1] == direct["m"]
+            assert row[2] == direct["b"]
+            if type_b:
+                assert row[3] == direct["triangles"]
+                sub, _ = graph.induced_subgraph(members)
+                assert row[4] == triplet_count(sub)
+
+    def test_scores_match_metric_of_values(self, graph):
+        coreness = core_decomposition(graph)
+        metric = get_metric("conductance")
+        res = find_best_k(graph, coreness, metric, SimulatedPool())
+        totals = GraphTotals.of(graph)
+        for k, row in enumerate(res.values):
+            expected = metric(
+                PrimaryValues(
+                    n=row[0], m=row[1], b=row[2], triangles=row[3], triplets=row[4]
+                ),
+                totals,
+            )
+            assert res.scores[k] == pytest.approx(expected)
+
+
+class TestBestK:
+    def test_best_is_argmax(self, graph):
+        coreness = core_decomposition(graph)
+        res = find_best_k(graph, coreness, "average_degree", SimulatedPool())
+        assert res.best_k == int(np.argmax(res.scores))
+        assert res.best_score == pytest.approx(float(res.scores.max()))
+
+    @pytest.mark.parametrize("threads", [1, 4, 9])
+    def test_thread_invariance(self, graph, threads):
+        coreness = core_decomposition(graph)
+        base = find_best_k(graph, coreness, "average_degree", SimulatedPool(threads=1))
+        other = find_best_k(
+            graph, coreness, "average_degree", SimulatedPool(threads=threads)
+        )
+        assert np.allclose(base.scores, other.scores)
+        assert base.best_k == other.best_k
+
+    def test_k0_is_whole_graph(self, graph):
+        coreness = core_decomposition(graph)
+        res = find_best_k(graph, coreness, "average_degree", SimulatedPool())
+        assert res.values[0][0] == graph.num_vertices
+        assert res.values[0][1] == graph.num_edges
+        assert res.values[0][2] == 0  # nothing outside K_0
+
+    def test_average_degree_best_at_dense_nucleus(self):
+        # background + planted K8: the best k selects the dense levels
+        from repro.graph.generators import erdos_renyi
+
+        edges = list(erdos_renyi(40, 0.06, seed=3).edges())
+        clique = list(range(40, 48))
+        edges += [(u, v) for u in clique for v in clique if u < v]
+        g = Graph.from_edges(edges)
+        coreness = core_decomposition(g)
+        res = find_best_k(g, coreness, "average_degree", SimulatedPool())
+        # K_7 is exactly the planted K8 (average degree 7), so the best
+        # score is at least 7; the winning k is above the ER background.
+        assert res.best_score >= 7.0 - 1e-9
+        assert res.best_k >= 3
+
+    def test_metric_by_object(self, graph):
+        coreness = core_decomposition(graph)
+        res = find_best_k(
+            graph, coreness, get_metric("internal_density"), SimulatedPool()
+        )
+        assert res.metric_name == "internal_density"

@@ -1,0 +1,159 @@
+"""Tests for densest-subgraph search, CoreApp, and maximum clique."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.decomposition import core_decomposition
+from repro.core.lcps import lcps_build_hcd
+from repro.graph.generators import (
+    complete_graph,
+    erdos_renyi,
+    powerlaw_cluster,
+)
+from repro.graph.graph import Graph
+from repro.parallel.scheduler import SimulatedPool
+from repro.search.clique import is_clique, maximum_clique
+from repro.search.coreapp import coreapp_densest
+from repro.search.densest import exact_densest, optd_densest, pbks_densest
+
+
+def decomposed(graph):
+    coreness = core_decomposition(graph)
+    return coreness, lcps_build_hcd(graph, coreness)
+
+
+def brute_force_densest_avg_degree(graph: Graph) -> float:
+    """Max average degree over all non-empty subsets (tiny graphs only)."""
+    best = 0.0
+    n = graph.num_vertices
+    for size in range(1, n + 1):
+        for subset in itertools.combinations(range(n), size):
+            sub, _ = graph.induced_subgraph(list(subset))
+            best = max(best, sub.average_degree())
+    return best
+
+
+class TestPbksDensest:
+    def test_matches_optd(self, random_graph):
+        coreness, hcd = decomposed(random_graph)
+        d_pbks = pbks_densest(random_graph, coreness, hcd, SimulatedPool(threads=4))
+        d_optd = optd_densest(random_graph, coreness, hcd)
+        assert d_pbks.average_degree == pytest.approx(d_optd.average_degree)
+        assert np.array_equal(np.sort(d_pbks.members), np.sort(d_optd.members))
+
+    def test_beats_or_matches_coreapp(self, random_graph):
+        coreness, hcd = decomposed(random_graph)
+        d_pbks = pbks_densest(random_graph, coreness, hcd, SimulatedPool())
+        d_ca = coreapp_densest(random_graph, coreness=coreness)
+        assert d_pbks.average_degree >= d_ca.average_degree - 1e-9
+
+    def test_complete_graph(self):
+        g = complete_graph(6)
+        coreness, hcd = decomposed(g)
+        d = pbks_densest(g, coreness, hcd, SimulatedPool())
+        assert d.size == 6
+        assert d.average_degree == pytest.approx(5.0)
+
+    def test_half_approximation(self):
+        for seed in range(4):
+            g = powerlaw_cluster(60, 3, 0.5, seed=seed)
+            coreness, hcd = decomposed(g)
+            approx = pbks_densest(g, coreness, hcd, SimulatedPool())
+            exact = exact_densest(g)
+            assert approx.average_degree <= exact.average_degree + 1e-9
+            assert approx.average_degree >= 0.5 * exact.average_degree - 1e-9
+
+
+class TestExactDensest:
+    def test_matches_brute_force(self):
+        for seed in range(3):
+            g = erdos_renyi(9, 0.4, seed=seed)
+            if g.num_edges == 0:
+                continue
+            exact = exact_densest(g)
+            assert exact.average_degree == pytest.approx(
+                brute_force_densest_avg_degree(g)
+            )
+
+    def test_planted_clique_found(self):
+        # sparse background + K6: the K6 is the densest subgraph
+        edges = list(erdos_renyi(30, 0.05, seed=1).edges())
+        clique = list(range(30, 36))
+        edges += [(u, v) for u in clique for v in clique if u < v]
+        g = Graph.from_edges(edges)
+        exact = exact_densest(g)
+        assert exact.average_degree >= 5.0
+
+    def test_empty_graph(self):
+        res = exact_densest(Graph.empty(3))
+        assert res.average_degree == 0.0
+
+
+class TestCoreApp:
+    def test_is_kmax_core_component(self, random_graph):
+        coreness = core_decomposition(random_graph)
+        res = coreapp_densest(random_graph, coreness=coreness)
+        kmax = int(coreness.max())
+        assert np.all(coreness[res.members] >= kmax)
+
+    def test_charges_pool_including_peel(self, random_graph):
+        pool = SimulatedPool()
+        coreapp_densest(random_graph, pool)
+        assert pool.clock > 0
+
+    def test_empty_graph(self):
+        res = coreapp_densest(Graph.empty(0))
+        assert res.size == 0
+
+
+class TestMaximumClique:
+    def brute_force_clique_number(self, graph: Graph) -> int:
+        best = 1 if graph.num_vertices else 0
+        for size in range(2, graph.num_vertices + 1):
+            found = False
+            for subset in itertools.combinations(range(graph.num_vertices), size):
+                if is_clique(graph, list(subset)):
+                    best = size
+                    found = True
+                    break
+            if not found:
+                break
+        return best
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_matches_brute_force(self, seed):
+        g = erdos_renyi(12, 0.4, seed=seed)
+        mc = maximum_clique(g)
+        assert is_clique(g, mc)
+        assert mc.size == self.brute_force_clique_number(g)
+
+    def test_complete_graph(self):
+        mc = maximum_clique(complete_graph(7))
+        assert mc.size == 7
+
+    def test_triangle_free(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (2, 3)])
+        assert maximum_clique(g).size == 2
+
+    def test_empty(self):
+        assert maximum_clique(Graph.empty(0)).size == 0
+
+    def test_planted_clique_inside_densest_core(self):
+        # The Table IV scenario: MC should fall inside PBKS-D's output.
+        rng_edges = list(erdos_renyi(60, 0.05, seed=7).edges())
+        clique = list(range(60, 68))
+        rng_edges += [(u, v) for u in clique for v in clique if u < v]
+        g = Graph.from_edges(rng_edges)
+        coreness, hcd = decomposed(g)
+        dens = pbks_densest(g, coreness, hcd, SimulatedPool())
+        mc = maximum_clique(g)
+        assert set(mc.tolist()) <= set(dens.members.tolist())
+
+    def test_is_clique_helper(self, triangle):
+        assert is_clique(triangle, [0, 1, 2])
+        g = Graph.from_edges([(0, 1), (1, 2)])
+        assert not is_clique(g, [0, 1, 2])
+        assert is_clique(g, [0, 1])
+        assert is_clique(g, [2])

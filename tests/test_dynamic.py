@@ -1,0 +1,190 @@
+"""Tests for dynamic coreness maintenance."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.decomposition import core_decomposition
+from repro.dynamic import DynamicGraph
+from repro.errors import GraphBuildError
+from repro.graph.generators import complete_graph, erdos_renyi
+from repro.graph.graph import Graph
+
+
+def recompute(dyn: DynamicGraph) -> np.ndarray:
+    return core_decomposition(dyn.to_graph())
+
+
+class TestBasics:
+    def test_initial_coreness(self, paper_like_graph):
+        dyn = DynamicGraph(paper_like_graph)
+        assert np.array_equal(
+            dyn.coreness, core_decomposition(paper_like_graph)
+        )
+        assert dyn.num_edges == paper_like_graph.num_edges
+
+    def test_coreness_read_only(self, triangle):
+        dyn = DynamicGraph(triangle)
+        with pytest.raises(ValueError):
+            dyn.coreness[0] = 99
+
+    def test_insert_raises_on_duplicate(self, triangle):
+        dyn = DynamicGraph(triangle)
+        with pytest.raises(GraphBuildError):
+            dyn.insert_edge(0, 1)
+
+    def test_delete_raises_on_missing(self, triangle):
+        dyn = DynamicGraph(triangle)
+        with pytest.raises(GraphBuildError):
+            dyn.delete_edge(0, 0)
+
+    def test_self_loop_rejected(self, triangle):
+        dyn = DynamicGraph(triangle)
+        with pytest.raises(GraphBuildError):
+            dyn.insert_edge(1, 1)
+
+    def test_out_of_range(self, triangle):
+        dyn = DynamicGraph(triangle)
+        with pytest.raises(GraphBuildError):
+            dyn.insert_edge(0, 99)
+
+    def test_to_graph_round_trip(self, paper_like_graph):
+        dyn = DynamicGraph(paper_like_graph)
+        assert dyn.to_graph() == paper_like_graph
+
+
+class TestInsertion:
+    def test_closing_a_square_promotes(self):
+        # path 0-1-2-3 plus edge 3-0 makes a cycle: coreness 1 -> 2
+        g = Graph.from_edges([(0, 1), (1, 2), (2, 3)])
+        dyn = DynamicGraph(g)
+        assert set(dyn.coreness.tolist()) == {1}
+        dyn.insert_edge(3, 0)
+        assert np.array_equal(dyn.coreness, [2, 2, 2, 2])
+
+    def test_promotion_is_local(self):
+        # two components; inserting in one must not disturb the other
+        edges = list(complete_graph(4).edges())
+        edges += [(u + 4, v + 4) for u, v in [(0, 1), (1, 2), (2, 0)]]
+        g = Graph.from_edges(edges, num_vertices=8)
+        dyn = DynamicGraph(g)
+        before = dyn.coreness[4:].copy()
+        dyn.insert_edge(0, 4)  # bridge, coreness unchanged everywhere
+        assert np.array_equal(dyn.coreness[4:], before)
+        assert np.array_equal(dyn.coreness, recompute(dyn))
+
+    def test_growing_a_clique(self):
+        dyn = DynamicGraph(Graph.from_edges([(0, 1)], num_vertices=5))
+        for u in range(5):
+            for v in range(u + 1, 5):
+                if (u, v) != (0, 1):
+                    dyn.insert_edge(u, v)
+                assert np.array_equal(dyn.coreness, recompute(dyn))
+        assert np.array_equal(dyn.coreness, [4] * 5)
+
+
+class TestDeletion:
+    def test_breaking_a_cycle_demotes(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (2, 3), (3, 0)])
+        dyn = DynamicGraph(g)
+        dyn.delete_edge(0, 1)
+        assert np.array_equal(dyn.coreness, [1, 1, 1, 1])
+
+    def test_shrinking_a_clique(self):
+        dyn = DynamicGraph(complete_graph(5))
+        edges = list(complete_graph(5).edges())
+        for u, v in edges[:6]:
+            dyn.delete_edge(u, v)
+            assert np.array_equal(dyn.coreness, recompute(dyn))
+
+    def test_isolating_a_vertex(self):
+        g = Graph.from_edges([(0, 1), (1, 2)])
+        dyn = DynamicGraph(g)
+        dyn.delete_edge(0, 1)
+        assert dyn.coreness[0] == 0
+
+
+class TestAgainstRecompute:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_update_sequences(self, seed):
+        rng = np.random.default_rng(seed)
+        g = erdos_renyi(30, 0.1, seed=seed)
+        dyn = DynamicGraph(g)
+        edges = set(map(tuple, g.edge_array().tolist()))
+        for _ in range(40):
+            if rng.random() < 0.6 or not edges:
+                while True:
+                    u, v = sorted(int(x) for x in rng.integers(0, 30, size=2))
+                    if u != v and (u, v) not in edges:
+                        break
+                dyn.insert_edge(u, v)
+                edges.add((u, v))
+            else:
+                u, v = sorted(edges)[int(rng.integers(0, len(edges)))]
+                dyn.delete_edge(u, v)
+                edges.remove((u, v))
+            assert np.array_equal(dyn.coreness, recompute(dyn))
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        flips=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=14),
+                st.integers(min_value=0, max_value=14),
+            ),
+            max_size=25,
+        ),
+    )
+    def test_property_toggle_edges(self, seed, flips):
+        """Toggling arbitrary edges keeps coreness equal to recompute."""
+        g = erdos_renyi(15, 0.15, seed=seed)
+        dyn = DynamicGraph(g)
+        for u, v in flips:
+            if u == v:
+                continue
+            if dyn.has_edge(u, v):
+                dyn.delete_edge(u, v)
+            else:
+                dyn.insert_edge(u, v)
+        assert np.array_equal(dyn.coreness, recompute(dyn))
+
+
+class TestHcdRebuild:
+    def test_hcd_reflects_updates(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (2, 0), (2, 3)])
+        dyn = DynamicGraph(g)
+        before = dyn.hcd()
+        dyn.insert_edge(3, 0)
+        dyn.insert_edge(3, 1)
+        after = dyn.hcd(threads=2)
+        assert after.kmax == 3  # K4 formed
+        assert before.kmax == 2
+        after.validate(dyn.to_graph(), dyn.coreness)
+
+
+class TestBatchUpdates:
+    def test_insert_batch_skips_duplicates(self):
+        dyn = DynamicGraph(
+            Graph.from_edges([(0, 1), (1, 2), (0, 2)], num_vertices=4)
+        )
+        applied = dyn.insert_edges([(0, 1), (0, 0), (1, 3), (3, 2)])
+        assert applied == 2
+        assert dyn.num_edges == 5
+        assert np.array_equal(dyn.coreness, recompute(dyn))
+
+    def test_delete_batch_skips_absent(self):
+        dyn = DynamicGraph(Graph.from_edges([(0, 1), (1, 2), (0, 2), (2, 3)]))
+        applied = dyn.delete_edges([(2, 3), (0, 3)])
+        assert applied == 1
+        assert np.array_equal(dyn.coreness, recompute(dyn))
+
+    def test_hcd_cache_reused_and_invalidated(self, paper_like_graph):
+        dyn = DynamicGraph(paper_like_graph)
+        first = dyn.hcd()
+        assert dyn.hcd() is first  # cached between updates
+        dyn.insert_edge(0, 13)
+        second = dyn.hcd()
+        assert second is not first
+        second.validate(dyn.to_graph(), dyn.coreness)

@@ -1,0 +1,149 @@
+"""Tests for the k-ECC extension (min cut, components, hierarchy)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.ecc import (
+    ecc_decomposition,
+    k_edge_connected_components,
+    stoer_wagner_min_cut,
+)
+from repro.graph.generators import complete_graph, cycle_graph, erdos_renyi
+from repro.graph.graph import Graph
+from repro.parallel.scheduler import SimulatedPool
+
+
+def to_nx(graph: Graph) -> nx.Graph:
+    g = nx.Graph()
+    g.add_nodes_from(range(graph.num_vertices))
+    g.add_edges_from(graph.edges())
+    return g
+
+
+def barbell(clique: int = 4) -> Graph:
+    """Two cliques joined by a single bridge edge."""
+    edges = list(complete_graph(clique).edges())
+    edges += [(u + clique, v + clique) for u, v in complete_graph(clique).edges()]
+    edges.append((0, clique))
+    return Graph.from_edges(edges)
+
+
+class TestStoerWagner:
+    def test_bridge_graph(self):
+        g = barbell()
+        value, side = stoer_wagner_min_cut(g)
+        assert value == 1
+        assert sorted(side) in ([0, 1, 2, 3], [4, 5, 6, 7])
+
+    def test_complete_graph(self):
+        value, side = stoer_wagner_min_cut(complete_graph(5))
+        assert value == 4
+        assert len(side) in (1, 4)
+
+    def test_cycle(self):
+        value, _ = stoer_wagner_min_cut(cycle_graph(6))
+        assert value == 2
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_networkx(self, seed):
+        g = erdos_renyi(25, 0.2, seed=seed)
+        comps = list(nx.connected_components(to_nx(g)))
+        big = max(comps, key=len)
+        if len(big) < 2:
+            pytest.skip("disconnected sample")
+        value_nx, _ = nx.stoer_wagner(to_nx(g).subgraph(big))
+        value, side = stoer_wagner_min_cut(g, np.asarray(sorted(big)))
+        assert value == value_nx
+        assert 0 < len(side) < len(big)
+
+    def test_too_small(self, triangle):
+        with pytest.raises(ValueError):
+            stoer_wagner_min_cut(triangle, np.asarray([0]))
+
+
+class TestKEcc:
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("k", [1, 2, 3, 4])
+    def test_matches_networkx_subgraph_semantics(self, seed, k):
+        g = erdos_renyi(25, 0.18, seed=seed)
+        mine = {frozenset(c) for c in k_edge_connected_components(g, k)}
+        theirs = {frozenset(c) for c in nx.k_edge_subgraphs(to_nx(g), k)}
+        assert mine == theirs
+
+    def test_barbell_levels(self):
+        g = barbell(4)
+        level1 = k_edge_connected_components(g, 1)
+        assert level1 == [sorted(range(8))]
+        level2 = sorted(k_edge_connected_components(g, 2))
+        assert level2 == [[0, 1, 2, 3], [4, 5, 6, 7]]
+        level3 = sorted(k_edge_connected_components(g, 3))
+        assert level3 == [[0, 1, 2, 3], [4, 5, 6, 7]]
+        level4 = k_edge_connected_components(g, 4)
+        assert all(len(c) == 1 for c in level4)
+
+    def test_each_component_is_k_connected(self):
+        g = erdos_renyi(25, 0.25, seed=7)
+        for k in (2, 3):
+            for comp in k_edge_connected_components(g, k):
+                if len(comp) < 2:
+                    continue
+                value, _ = stoer_wagner_min_cut(g, np.asarray(comp))
+                assert value >= k
+
+    def test_k_zero_is_whole_graph(self, triangle):
+        assert k_edge_connected_components(triangle, 0) == [[0, 1, 2]]
+
+    def test_empty_graph(self):
+        assert k_edge_connected_components(Graph.empty(0), 2) == []
+
+
+class TestHierarchy:
+    def test_nesting(self):
+        g = barbell(4)
+        h = ecc_decomposition(g)
+        values = sorted(v for v, _ in h.nodes)
+        assert values == [1, 3, 3]  # whole graph at 1, two K4s at 3
+        for idx, pa in enumerate(h.parents):
+            if pa >= 0:
+                assert h.nodes[pa][0] < h.nodes[idx][0]
+                assert h.nodes[idx][1] < h.nodes[pa][1]
+
+    def test_connectivity_values(self):
+        g = barbell(4)
+        h = ecc_decomposition(g)
+        assert np.array_equal(h.connectivity, [3] * 8)
+
+    def test_connectivity_of_isolated(self):
+        g = Graph.from_edges([(0, 1)], num_vertices=3)
+        h = ecc_decomposition(g)
+        assert h.connectivity[2] == 0
+        assert h.connectivity[0] == 1
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_components_at_matches_direct(self, seed):
+        g = erdos_renyi(22, 0.2, seed=seed)
+        h = ecc_decomposition(g)
+        for k in range(1, 5):
+            from_h = {frozenset(c) for c in h.components_at(k)}
+            direct = {
+                frozenset(c)
+                for c in k_edge_connected_components(g, k)
+                if len(c) > 1
+            }
+            assert from_h == direct
+
+    def test_charges_pool(self):
+        pool = SimulatedPool()
+        ecc_decomposition(barbell(), pool)
+        assert pool.clock > 0
+
+    def test_connectivity_consistent_with_nodes(self):
+        g = erdos_renyi(20, 0.25, seed=1)
+        h = ecc_decomposition(g)
+        for v in range(g.num_vertices):
+            containing = [
+                value for value, members in h.nodes if v in members
+            ]
+            expected = max(containing, default=0)
+            assert h.connectivity[v] == expected

@@ -1,0 +1,181 @@
+"""Tests for the influential-community index, local core queries, CLI."""
+
+import numpy as np
+import pytest
+
+from repro.core.decomposition import core_decomposition
+from repro.core.lcps import lcps_build_hcd
+from repro.core.local_search import local_core_search
+from repro.graph.generators import erdos_renyi
+from repro.graph.graph import Graph
+from repro.parallel.scheduler import SimulatedPool
+from repro.search.influential import InfluentialCommunityIndex
+
+
+@pytest.fixture
+def setting(paper_like_graph):
+    coreness = core_decomposition(paper_like_graph)
+    hcd = lcps_build_hcd(paper_like_graph, coreness)
+    return paper_like_graph, coreness, hcd
+
+
+class TestLocalCoreQuery:
+    def test_matches_local_search(self, setting):
+        graph, coreness, hcd = setting
+        for v in range(graph.num_vertices):
+            for k in range(0, int(coreness[v]) + 1):
+                expected = local_core_search(graph, coreness, v, level=k)
+                got = hcd.k_core_containing(v, k)
+                assert np.array_equal(got, expected), (v, k)
+
+    def test_above_coreness_empty(self, setting):
+        graph, coreness, hcd = setting
+        v = int(np.argmin(coreness))
+        assert hcd.k_core_containing(v, int(coreness[v]) + 1).size == 0
+        assert hcd.core_node_containing(v, int(coreness[v]) + 1) == -1
+
+    def test_random_graphs(self, random_graph):
+        coreness = core_decomposition(random_graph)
+        hcd = lcps_build_hcd(random_graph, coreness)
+        rng = np.random.default_rng(0)
+        for v in rng.integers(0, random_graph.num_vertices, size=10):
+            v = int(v)
+            k = int(rng.integers(0, coreness[v] + 1))
+            expected = local_core_search(random_graph, coreness, v, level=k)
+            assert np.array_equal(hcd.k_core_containing(v, k), expected)
+
+    def test_maximal_core_nodes_partition_core_set(self, setting):
+        graph, coreness, hcd = setting
+        for k in range(0, int(coreness.max()) + 1):
+            nodes = hcd.maximal_core_nodes(k)
+            union = (
+                np.sort(np.concatenate([hcd.reconstruct_core(t) for t in nodes]))
+                if nodes
+                else np.empty(0, dtype=np.int64)
+            )
+            expected = np.flatnonzero(coreness >= k)
+            assert np.array_equal(union, expected)
+
+
+class TestInfluentialIndex:
+    def test_influence_is_min_member_weight(self, setting):
+        graph, coreness, hcd = setting
+        rng = np.random.default_rng(1)
+        weights = rng.random(graph.num_vertices)
+        index = InfluentialCommunityIndex(hcd, weights)
+        for node in range(hcd.num_nodes):
+            members = hcd.reconstruct_core(node)
+            assert index.influence_of(node) == pytest.approx(
+                float(weights[members].min())
+            )
+            assert index.core_size(node) == members.size
+
+    def test_top_r_sorted_and_maximal(self, setting):
+        graph, coreness, hcd = setting
+        rng = np.random.default_rng(2)
+        weights = rng.random(graph.num_vertices)
+        index = InfluentialCommunityIndex(hcd, weights)
+        for k in range(0, int(coreness.max()) + 1):
+            answers = index.top_r(k, 3)
+            influences = [a.influence for a in answers]
+            assert influences == sorted(influences, reverse=True)
+            for a in answers:
+                members = index.members(a)
+                assert np.all(coreness[members] >= k)
+
+    def test_top_r_limits(self, setting):
+        graph, coreness, hcd = setting
+        weights = np.ones(graph.num_vertices)
+        index = InfluentialCommunityIndex(hcd, weights)
+        assert index.top_r(2, 0) == []
+        assert len(index.top_r(2, 100)) == len(hcd.maximal_core_nodes(2))
+
+    def test_weight_size_mismatch(self, setting):
+        _, _, hcd = setting
+        with pytest.raises(ValueError):
+            InfluentialCommunityIndex(hcd, np.ones(3))
+
+    def test_high_weight_clique_wins(self):
+        # two K4s; the one with heavier members must rank first at k=3
+        edges = [(u, v) for u in range(4) for v in range(u + 1, 4)]
+        edges += [(u + 4, v + 4) for u, v in edges]
+        g = Graph.from_edges(edges, num_vertices=8)
+        coreness = core_decomposition(g)
+        hcd = lcps_build_hcd(g, coreness)
+        weights = np.array([1.0] * 4 + [5.0] * 4)
+        index = InfluentialCommunityIndex(hcd, weights)
+        top = index.top_r(3, 2)
+        assert len(top) == 2
+        assert top[0].influence == 5.0
+        assert set(index.members(top[0]).tolist()) == {4, 5, 6, 7}
+
+    def test_charges_pool(self, setting):
+        graph, _, hcd = setting
+        pool = SimulatedPool(threads=2)
+        InfluentialCommunityIndex(hcd, np.ones(graph.num_vertices), pool)
+        assert pool.clock > 0
+
+
+class TestCli:
+    def run(self, capsys, *argv) -> str:
+        from repro.cli import main
+
+        assert main(list(argv)) == 0
+        return capsys.readouterr().out
+
+    def test_datasets(self, capsys):
+        out = self.run(capsys, "datasets")
+        assert "as_skitter" in out
+        assert "UK" in out
+
+    def test_stats_on_file(self, capsys, tmp_path, paper_like_graph):
+        from repro.graph.io import write_edge_list
+
+        path = tmp_path / "g.txt"
+        write_edge_list(paper_like_graph, path)
+        out = self.run(capsys, "stats", "--input", str(path))
+        assert "kmax     : 4" in out
+
+    def test_decompose_tree(self, capsys, tmp_path, triangle):
+        from repro.graph.io import write_edge_list
+
+        path = tmp_path / "g.txt"
+        write_edge_list(triangle, path)
+        out = self.run(capsys, "decompose", "--input", str(path), "--tree")
+        assert "k=2" in out
+
+    def test_search(self, capsys, tmp_path, paper_like_graph):
+        from repro.graph.io import write_edge_list
+
+        path = tmp_path / "g.txt"
+        write_edge_list(paper_like_graph, path)
+        out = self.run(
+            capsys, "search", "--input", str(path), "--metric", "average_degree"
+        )
+        assert "best k" in out
+
+    def test_bestk(self, capsys, tmp_path, paper_like_graph):
+        from repro.graph.io import write_edge_list
+
+        path = tmp_path / "g.txt"
+        write_edge_list(paper_like_graph, path)
+        out = self.run(capsys, "bestk", "--input", str(path))
+        assert "<== best" in out
+
+    def test_unknown_metric_rejected(self, tmp_path, triangle):
+        from repro.cli import main
+        from repro.graph.io import write_edge_list
+
+        path = tmp_path / "g.txt"
+        write_edge_list(triangle, path)
+        with pytest.raises(SystemExit):
+            main(["search", "--input", str(path), "--metric", "nope"])
+
+    def test_report_subcommand(self, capsys, tmp_path, paper_like_graph):
+        from repro.graph.io import write_edge_list
+
+        path = tmp_path / "g.txt"
+        write_edge_list(paper_like_graph, path)
+        out = self.run(capsys, "report", "--input", str(path))
+        assert "== best community per metric ==" in out
+        assert "densest core" in out

@@ -1,0 +1,127 @@
+"""End-to-end integration tests spanning the whole library surface."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    DynamicGraph,
+    Graph,
+    HCD,
+    InfluentialCommunityIndex,
+    SimulatedPool,
+    decompose,
+    search_best_core,
+)
+from repro.analysis.report import analysis_report
+from repro.core.decomposition import core_decomposition
+from repro.graph.generators import powerlaw_cluster
+from repro.graph.io import read_edge_list, save_npz, load_npz, write_edge_list
+from repro.search.metrics import metric_names
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return powerlaw_cluster(180, 3, 0.4, seed=21)
+
+
+class TestFullPipeline:
+    def test_io_decompose_persist_reload_search(self, tmp_path, workload):
+        """The adoption path: file in, index out, reload, query."""
+        # 1. write and re-read the graph
+        edge_path = tmp_path / "graph.txt"
+        write_edge_list(workload, edge_path)
+        graph = read_edge_list(edge_path)
+        assert graph == workload
+
+        # 2. decompose in parallel, validate, persist the index
+        deco = decompose(graph, threads=6)
+        deco.hcd.validate(graph, deco.coreness)
+        index_path = tmp_path / "index.npz"
+        deco.hcd.save(index_path)
+        graph_path = tmp_path / "graph.npz"
+        save_npz(graph, graph_path)
+
+        # 3. a "new session": reload both, run a search, answers match
+        graph2 = load_npz(graph_path)
+        hcd2 = HCD.load(index_path)
+        result, _ = search_best_core(graph2, "conductance", threads=6)
+        from repro.search.bks import bks_search
+
+        direct = bks_search(graph2, core_decomposition(graph2), hcd2, "conductance")
+        assert result.best_score == pytest.approx(direct.best_score)
+
+    def test_every_metric_end_to_end(self, workload):
+        """All registered metrics run through the full parallel stack."""
+        for metric in metric_names():
+            result, deco = search_best_core(workload, metric, threads=4)
+            assert result.best_node >= 0
+            members = result.best_members()
+            assert members.size >= 1
+            assert np.all(deco.coreness[members] >= result.best_k)
+
+    def test_dynamic_then_static_agree(self, workload):
+        """Mutating a DynamicGraph and re-running the static stack."""
+        dyn = DynamicGraph(workload)
+        rng = np.random.default_rng(3)
+        inserted = []
+        for _ in range(15):
+            u, v = sorted(int(x) for x in rng.integers(0, workload.num_vertices, 2))
+            if u != v and not dyn.has_edge(u, v):
+                dyn.insert_edge(u, v)
+                inserted.append((u, v))
+        static = decompose(dyn.to_graph(), threads=3)
+        assert np.array_equal(static.coreness, dyn.coreness)
+        assert static.hcd.equivalent_to(dyn.hcd(threads=3))
+
+    def test_influence_on_fresh_decomposition(self, workload):
+        deco = decompose(workload, threads=2)
+        weights = workload.degrees().astype(float)
+        index = InfluentialCommunityIndex(deco.hcd, weights)
+        top = index.top_r(3, 2)
+        for answer in top:
+            members = index.members(answer)
+            assert float(weights[members].min()) == pytest.approx(answer.influence)
+
+    def test_report_renders_for_arbitrary_graph(self, workload):
+        text = analysis_report(workload, threads=2, metrics=["average_degree"])
+        assert "== graph ==" in text
+        assert "== hierarchy ==" in text
+        assert "average_degree" in text
+
+    def test_thread_count_never_changes_any_answer(self, workload):
+        baselines = {}
+        for metric in ("average_degree", "clustering_coefficient"):
+            result, _ = search_best_core(workload, metric, threads=1, parallel=True)
+            baselines[metric] = result.best_score
+        for threads in (3, 12, 40):
+            for metric, expected in baselines.items():
+                result, _ = search_best_core(
+                    workload, metric, threads=threads, parallel=True
+                )
+                assert result.best_score == pytest.approx(expected)
+
+
+class TestCrossSubstrateConsistency:
+    def test_truss_and_core_agree_on_cliques(self):
+        """On a planted clique, core, truss, and ECC all isolate it."""
+        from repro.ecc import k_edge_connected_components
+        from repro.truss import EdgeIndex, truss_decomposition
+
+        rng = np.random.default_rng(9)
+        base = powerlaw_cluster(80, 2, 0.2, seed=9)
+        clique = list(range(80, 88))
+        edges = list(base.edges())
+        edges += [(u, v) for u in clique for v in clique if u < v]
+        g = Graph.from_edges(edges, num_vertices=88)
+        del rng
+
+        coreness = core_decomposition(g)
+        assert np.all(coreness[clique] >= 7)
+
+        index = EdgeIndex(g)
+        trussness = truss_decomposition(g, index)
+        clique_eids = [index.id_of(u, v) for u in clique for v in clique if u < v]
+        assert np.all(trussness[clique_eids] == 8)
+
+        eccs = k_edge_connected_components(g, 7)
+        assert any(set(clique) <= set(c) for c in eccs)

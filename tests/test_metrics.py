@@ -1,0 +1,209 @@
+"""Tests for community scoring metrics and the registry."""
+
+import pytest
+
+from repro.errors import UnknownMetricError
+from repro.search.metrics import (
+    get_metric,
+    metric_names,
+    register_metric,
+    type_a_metrics,
+    type_b_metrics,
+)
+from repro.search.primary_values import GraphTotals, PrimaryValues
+
+TOTALS = GraphTotals(n=100, m=500)
+
+
+def pv(**kwargs) -> PrimaryValues:
+    return PrimaryValues(**kwargs)
+
+
+class TestFormulas:
+    def test_average_degree(self):
+        m = get_metric("average_degree")
+        assert m(pv(n=10, m=25), TOTALS) == pytest.approx(5.0)
+
+    def test_average_degree_empty(self):
+        assert get_metric("average_degree")(pv(), TOTALS) == 0.0
+
+    def test_internal_density(self):
+        m = get_metric("internal_density")
+        # K4: 6 edges over C(4,2)=6 -> density 1
+        assert m(pv(n=4, m=6), TOTALS) == pytest.approx(1.0)
+
+    def test_internal_density_singleton(self):
+        assert get_metric("internal_density")(pv(n=1), TOTALS) == 0.0
+
+    def test_cut_ratio(self):
+        m = get_metric("cut_ratio")
+        # n(S)=10, outside=90, b=90 -> 1 - 90/900 = 0.9
+        assert m(pv(n=10, b=90), TOTALS) == pytest.approx(0.9)
+
+    def test_cut_ratio_whole_graph(self):
+        m = get_metric("cut_ratio")
+        assert m(pv(n=100, b=0), TOTALS) == 1.0
+
+    def test_conductance(self):
+        m = get_metric("conductance")
+        # b=10, 2m=40 -> 1 - 10/50 = 0.8
+        assert m(pv(m=20, b=10), TOTALS) == pytest.approx(0.8)
+
+    def test_conductance_isolated(self):
+        assert get_metric("conductance")(pv(), TOTALS) == 1.0
+
+    def test_modularity(self):
+        m = get_metric("modularity")
+        # m(S)=100 of 500, degrees 2*100+50 over 1000
+        expected = 100 / 500 - (250 / 1000) ** 2
+        assert m(pv(m=100, b=50), TOTALS) == pytest.approx(expected)
+
+    def test_modularity_empty_graph(self):
+        assert get_metric("modularity")(pv(m=1), GraphTotals(n=0, m=0)) == 0.0
+
+    def test_clustering_coefficient(self):
+        m = get_metric("clustering_coefficient")
+        # K3: 1 triangle, 3 triplets -> 3*1/3 = 1
+        assert m(pv(triangles=1, triplets=3), TOTALS) == pytest.approx(1.0)
+
+    def test_clustering_coefficient_no_triplets(self):
+        assert get_metric("clustering_coefficient")(pv(), TOTALS) == 0.0
+
+
+class TestRegistry:
+    def test_paper_metrics_present(self):
+        names = metric_names()
+        for expected in (
+            "average_degree",
+            "internal_density",
+            "cut_ratio",
+            "conductance",
+            "modularity",
+            "clustering_coefficient",
+        ):
+            assert expected in names
+
+    def test_type_split(self):
+        a_names = {m.name for m in type_a_metrics()}
+        b_names = {m.name for m in type_b_metrics()}
+        assert "average_degree" in a_names
+        assert "clustering_coefficient" in b_names
+        assert not (a_names & b_names)
+
+    def test_unknown_metric(self):
+        with pytest.raises(UnknownMetricError):
+            get_metric("nope")
+
+    def test_register_custom_metric(self):
+        metric = register_metric(
+            "test_only_density_per_boundary",
+            "A",
+            lambda v, t: v.m / (v.b + 1.0),
+        )
+        try:
+            assert get_metric(metric.name)(pv(m=10, b=4), TOTALS) == 2.0
+        finally:
+            # keep the global registry clean for other tests
+            from repro.search import metrics as mod
+
+            del mod._REGISTRY[metric.name]
+
+    def test_register_invalid_kind(self):
+        with pytest.raises(ValueError):
+            register_metric("bad", "C", lambda v, t: 0.0)
+
+    def test_metric_callable(self):
+        m = get_metric("average_degree")
+        assert m(pv(n=2, m=1), TOTALS) == 1.0
+
+
+class TestPrimaryValues:
+    def test_addition(self):
+        a = pv(n=1, m=2, b=3, triangles=4, triplets=5)
+        b = pv(n=10, m=20, b=30, triangles=40, triplets=50)
+        total = a + b
+        assert total.as_tuple() == (11, 22, 33, 44, 55)
+
+    def test_graph_totals_of(self, triangle):
+        totals = GraphTotals.of(triangle)
+        assert totals.n == 3
+        assert totals.m == 3
+
+
+class TestSurveyMetrics:
+    def test_separability(self):
+        m = get_metric("separability")
+        assert m(pv(m=20, b=4), TOTALS) == 5.0
+        assert m(pv(m=20, b=0), TOTALS) == float("inf")
+        assert m(pv(m=0, b=0), TOTALS) == 0.0
+
+    def test_expansion(self):
+        m = get_metric("expansion")
+        assert m(pv(n=10, b=5), TOTALS) == pytest.approx(0.5)
+        assert m(pv(), TOTALS) == 0.0
+
+    def test_triangle_participation(self):
+        m = get_metric("triangle_participation")
+        assert m(pv(m=3, triangles=1), TOTALS) == pytest.approx(1 / 3)
+        assert m(pv(), TOTALS) == 0.0
+
+    def test_types(self):
+        assert get_metric("separability").kind == "A"
+        assert get_metric("expansion").kind == "A"
+        assert get_metric("triangle_participation").kind == "B"
+
+
+class TestCombinedMetrics:
+    def test_weighted_combination(self):
+        from repro.search.metrics import _REGISTRY, combine_metrics
+
+        metric = combine_metrics(
+            "test_combo", {"average_degree": 2.0, "conductance": 1.0}
+        )
+        try:
+            values = pv(n=10, m=25, b=0)
+            expected = 2.0 * 5.0 + 1.0 * 1.0
+            assert metric(values, TOTALS) == pytest.approx(expected)
+            assert get_metric("test_combo") is metric
+            assert metric.kind == "A"
+        finally:
+            del _REGISTRY["test_combo"]
+
+    def test_type_b_propagates(self):
+        from repro.search.metrics import combine_metrics
+
+        metric = combine_metrics(
+            "test_combo_b",
+            {"average_degree": 1.0, "clustering_coefficient": 1.0},
+            register=False,
+        )
+        assert metric.kind == "B"
+
+    def test_bks_pbks_agree_on_combined(self):
+        import numpy as np
+
+        from repro.core.decomposition import core_decomposition
+        from repro.core.lcps import lcps_build_hcd
+        from repro.graph.generators import powerlaw_cluster
+        from repro.parallel.scheduler import SimulatedPool
+        from repro.search.bks import bks_search
+        from repro.search.metrics import combine_metrics
+        from repro.search.pbks import pbks_search
+
+        g = powerlaw_cluster(80, 3, 0.4, seed=9)
+        coreness = core_decomposition(g)
+        hcd = lcps_build_hcd(g, coreness)
+        metric = combine_metrics(
+            "test_combo_search",
+            {"conductance": 1.0, "clustering_coefficient": 0.5},
+            register=False,
+        )
+        serial = bks_search(g, coreness, hcd, metric)
+        parallel = pbks_search(g, coreness, hcd, metric, SimulatedPool(threads=4))
+        assert np.allclose(serial.scores, parallel.scores)
+
+    def test_empty_weights_rejected(self):
+        from repro.search.metrics import combine_metrics
+
+        with pytest.raises(ValueError):
+            combine_metrics("empty", {})

@@ -1,0 +1,66 @@
+"""Tests for the high-level pipelines (decompose / search_best_core)."""
+
+import numpy as np
+import pytest
+
+from repro.core.decomposition import core_decomposition
+from repro.core.lcps import lcps_build_hcd
+from repro.pipeline import decompose, search_best_core
+from repro.search.bks import bks_search
+
+
+class TestDecompose:
+    def test_serial_stack(self, random_graph):
+        deco = decompose(random_graph, threads=1)
+        assert np.array_equal(deco.coreness, core_decomposition(random_graph))
+        deco.hcd.validate(random_graph, deco.coreness)
+        assert set(deco.phase_times) == {"core_decomposition", "hcd"}
+        assert deco.total_time > 0
+
+    @pytest.mark.parametrize("threads", [2, 6])
+    def test_parallel_stack_equivalent(self, random_graph, threads):
+        serial = decompose(random_graph, threads=1)
+        parallel = decompose(random_graph, threads=threads)
+        assert np.array_equal(serial.coreness, parallel.coreness)
+        assert serial.hcd.equivalent_to(parallel.hcd)
+
+    def test_forced_parallel_on_one_thread(self, random_graph):
+        deco = decompose(random_graph, threads=1, parallel=True)
+        deco.hcd.validate(random_graph, deco.coreness)
+
+    def test_phase_times_positive(self, random_graph):
+        deco = decompose(random_graph, threads=4)
+        assert all(t > 0 for t in deco.phase_times.values())
+
+
+class TestSearchBestCore:
+    @pytest.mark.parametrize("metric", ["average_degree", "clustering_coefficient"])
+    def test_matches_direct_bks(self, random_graph, metric):
+        result, deco = search_best_core(random_graph, metric, threads=1)
+        coreness = core_decomposition(random_graph)
+        hcd = lcps_build_hcd(random_graph, coreness)
+        direct = bks_search(random_graph, coreness, hcd, metric)
+        assert result.best_score == pytest.approx(direct.best_score)
+
+    def test_parallel_equals_serial(self, random_graph):
+        serial, _ = search_best_core(random_graph, "conductance", threads=1)
+        parallel, _ = search_best_core(random_graph, "conductance", threads=8)
+        assert sorted(serial.scores.tolist()) == pytest.approx(
+            sorted(parallel.scores.tolist())
+        )
+        assert serial.best_score == pytest.approx(parallel.best_score)
+
+    def test_parallel_phase_times(self, random_graph):
+        _, deco = search_best_core(random_graph, "average_degree", threads=4)
+        assert "preprocessing" in deco.phase_times
+        assert "search" in deco.phase_times
+
+    def test_parallel_end_to_end_faster(self):
+        from repro.graph.generators import powerlaw_cluster
+
+        g = powerlaw_cluster(400, 5, 0.3, seed=0)
+        _, d1 = search_best_core(g, "clustering_coefficient", threads=1)
+        _, d40 = search_best_core(
+            g, "clustering_coefficient", threads=40, parallel=True
+        )
+        assert d40.pool.clock < d1.pool.clock

@@ -1,0 +1,110 @@
+"""Tests for whole-graph property helpers (vs networkx references)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graph.generators import complete_graph, erdos_renyi
+from repro.graph.graph import Graph
+from repro.graph.properties import (
+    boundary_edge_count,
+    degeneracy,
+    degeneracy_ordering,
+    internal_edge_count,
+    subgraph_primary_values,
+    triangle_count,
+    triplet_count,
+)
+
+
+def to_nx(graph: Graph) -> nx.Graph:
+    g = nx.Graph()
+    g.add_nodes_from(range(graph.num_vertices))
+    g.add_edges_from(graph.edges())
+    return g
+
+
+class TestTriangles:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_networkx(self, seed):
+        g = erdos_renyi(70, 0.08, seed=seed)
+        expected = sum(nx.triangles(to_nx(g)).values()) // 3
+        assert triangle_count(g) == expected
+
+    def test_complete_graph(self):
+        assert triangle_count(complete_graph(6)) == 20  # C(6,3)
+
+    def test_triangle_free(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (2, 3)])
+        assert triangle_count(g) == 0
+
+
+class TestTriplets:
+    def test_path(self):
+        g = Graph.from_edges([(0, 1), (1, 2)])
+        assert triplet_count(g) == 1
+
+    def test_star(self):
+        g = Graph.from_edges([(0, 1), (0, 2), (0, 3)])
+        assert triplet_count(g) == 3  # C(3,2)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_formula(self, seed):
+        g = erdos_renyi(50, 0.1, seed=seed)
+        deg = g.degrees()
+        assert triplet_count(g) == int(np.sum(deg * (deg - 1) // 2))
+
+
+class TestBoundaries:
+    def test_counts(self, paper_like_graph):
+        members = [0, 1, 2, 3, 4]  # the K5
+        assert internal_edge_count(paper_like_graph, members) == 10
+        # only the bridge (5, 0) leaves the K5
+        assert boundary_edge_count(paper_like_graph, members) == 1
+
+    def test_whole_graph_no_boundary(self, triangle):
+        assert boundary_edge_count(triangle, [0, 1, 2]) == 0
+
+    def test_cross_check_random(self):
+        g = erdos_renyi(60, 0.1, seed=1)
+        members = list(range(0, 30))
+        inside = internal_edge_count(g, members)
+        border = boundary_edge_count(g, members)
+        rest = internal_edge_count(g, list(range(30, 60)))
+        assert inside + border + rest == g.num_edges
+
+
+class TestDegeneracy:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_max_coreness(self, seed, coreness_oracle):
+        g = erdos_renyi(60, 0.08, seed=seed)
+        assert degeneracy(g) == int(coreness_oracle(g).max())
+
+    def test_ordering_is_permutation(self):
+        g = erdos_renyi(50, 0.1, seed=0)
+        order = degeneracy_ordering(g)
+        assert sorted(order) == list(range(50))
+
+    def test_ordering_peels_min_degree(self):
+        # in the removal order, each vertex's residual degree <= degeneracy
+        g = erdos_renyi(50, 0.1, seed=2)
+        d = degeneracy(g)
+        removed = set()
+        for v in degeneracy_ordering(g):
+            residual = sum(1 for u in g.neighbors(v) if int(u) not in removed)
+            assert residual <= d
+            removed.add(v)
+
+
+class TestPrimaryValuesOracle:
+    def test_on_k5(self, paper_like_graph):
+        vals = subgraph_primary_values(paper_like_graph, [0, 1, 2, 3, 4])
+        assert vals["n"] == 5
+        assert vals["m"] == 10
+        assert vals["b"] == 1
+        assert vals["triangles"] == 10  # C(5,3)
+        assert vals["triplets"] == 5 * 6  # 5 vertices with C(4,2) centers
+
+    def test_empty_members(self, triangle):
+        vals = subgraph_primary_values(triangle, [])
+        assert vals["n"] == 0 and vals["m"] == 0

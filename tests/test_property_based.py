@@ -1,0 +1,213 @@
+"""Property-based tests (hypothesis) over random edge lists.
+
+These drive arbitrary small graphs through the full stack and assert
+the structural invariants the paper's definitions promise, plus
+cross-implementation agreement between independent code paths.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.decomposition import core_decomposition
+from repro.core.lcps import lcps_build_hcd
+from repro.core.local_search import rc_build_hcd
+from repro.core.phcd import phcd_build_hcd
+from repro.core.pkc import pkc_core_decomposition
+from repro.graph.graph import Graph
+from repro.graph.properties import subgraph_primary_values
+from repro.parallel.accumulate import tree_accumulate
+from repro.parallel.scheduler import SimulatedPool
+from repro.search.bks import bks_search
+from repro.search.pbks import pbks_search
+from repro.unionfind.pivot import PivotUnionFind
+from repro.unionfind.sequential import UnionFind
+from repro.unionfind.waitfree import SimulatedWaitFreeUnionFind
+
+MAX_N = 24
+
+edge_lists = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=MAX_N - 1),
+        st.integers(min_value=0, max_value=MAX_N - 1),
+    ),
+    max_size=70,
+)
+
+
+def build(edges) -> Graph:
+    return Graph.from_edges(edges, num_vertices=MAX_N)
+
+
+@settings(max_examples=60, deadline=None)
+@given(edges=edge_lists)
+def test_coreness_invariants(edges):
+    """Min-degree and maximality invariants of core decomposition."""
+    g = build(edges)
+    coreness = core_decomposition(g)
+    # 1. inside the k-core set of k = c(v), v has >= k neighbors
+    for v in range(g.num_vertices):
+        k = int(coreness[v])
+        inside = sum(1 for u in g.neighbors(v) if coreness[u] >= k)
+        assert inside >= k
+    # 2. maximality: v has < k+1 neighbors of coreness >= k+1 ... weaker
+    #    form: the (k+1)-core set restricted subgraph cannot contain v
+    #    with degree >= k+1 unless c(v) >= k+1 (checked via recompute)
+    assert np.array_equal(coreness, core_decomposition(g))
+
+
+@settings(max_examples=40, deadline=None)
+@given(edges=edge_lists, threads=st.integers(min_value=1, max_value=6))
+def test_pkc_equals_bz(edges, threads):
+    g = build(edges)
+    expected = core_decomposition(g)
+    got = pkc_core_decomposition(g, SimulatedPool(threads=threads))
+    assert np.array_equal(got, expected)
+
+
+@settings(max_examples=40, deadline=None)
+@given(edges=edge_lists, threads=st.integers(min_value=1, max_value=6))
+def test_hcd_constructions_agree(edges, threads):
+    """LCPS, PHCD, and RC build the same, valid hierarchy."""
+    g = build(edges)
+    coreness = core_decomposition(g)
+    lcps = lcps_build_hcd(g, coreness)
+    lcps.validate(g, coreness)
+    phcd = phcd_build_hcd(g, coreness, SimulatedPool(threads=threads))
+    assert phcd.equivalent_to(lcps)
+    rc = rc_build_hcd(g, coreness, SimulatedPool(threads=threads))
+    assert rc.equivalent_to(lcps)
+
+
+@settings(max_examples=30, deadline=None)
+@given(edges=edge_lists)
+def test_hcd_partitions_vertices(edges):
+    g = build(edges)
+    coreness = core_decomposition(g)
+    hcd = lcps_build_hcd(g, coreness)
+    seen: set[int] = set()
+    for node in range(hcd.num_nodes):
+        verts = set(int(v) for v in hcd.vertices_of(node))
+        assert not (verts & seen)
+        seen |= verts
+        k = int(hcd.node_coreness[node])
+        assert all(coreness[v] == k for v in verts)
+        pa = int(hcd.parent[node])
+        if pa >= 0:
+            assert int(hcd.node_coreness[pa]) < k
+    assert seen == set(range(g.num_vertices))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    edges=edge_lists,
+    metric=st.sampled_from(
+        ["average_degree", "conductance", "modularity", "clustering_coefficient"]
+    ),
+    threads=st.integers(min_value=1, max_value=6),
+)
+def test_bks_equals_pbks(edges, metric, threads):
+    g = build(edges)
+    coreness = core_decomposition(g)
+    hcd = lcps_build_hcd(g, coreness)
+    serial = bks_search(g, coreness, hcd, metric)
+    parallel = pbks_search(g, coreness, hcd, metric, SimulatedPool(threads=threads))
+    assert np.allclose(serial.scores, parallel.scores)
+    assert np.allclose(serial.values, parallel.values)
+
+
+@settings(max_examples=25, deadline=None)
+@given(edges=edge_lists)
+def test_pbks_values_match_definitions(edges):
+    """Accumulated per-node values equal direct subgraph computation."""
+    g = build(edges)
+    coreness = core_decomposition(g)
+    hcd = lcps_build_hcd(g, coreness)
+    result = pbks_search(
+        g, coreness, hcd, "clustering_coefficient", SimulatedPool(threads=3)
+    )
+    for node in range(hcd.num_nodes):
+        members = hcd.reconstruct_core(node)
+        direct = subgraph_primary_values(g, members)
+        got = result.node_values(node)
+        assert got.n == direct["n"]
+        assert got.m == direct["m"]
+        assert got.b == direct["b"]
+        assert got.triangles == direct["triangles"]
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    edges=edge_lists,
+    failure_rate=st.floats(min_value=0.0, max_value=0.7),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_unionfind_engines_agree(edges, failure_rate, seed):
+    """Sequential, pivot, and failing wait-free UF give one connectivity."""
+    g = build(edges)
+    n = g.num_vertices
+    ranks = np.arange(n, dtype=np.int64)
+    plain = UnionFind(n)
+    piv = PivotUnionFind(ranks)
+    wf = SimulatedWaitFreeUnionFind(ranks, failure_rate=failure_rate, seed=seed)
+    for u, v in g.edges():
+        plain.union(u, v)
+        piv.union(u, v)
+        wf.union(u, v)
+    for x in range(n):
+        for y in range(x + 1, x + 5):
+            if y >= n:
+                break
+            expected = plain.same_set(x, y)
+            assert piv.same_set(x, y) == expected
+            assert wf.same_set(x, y) == expected
+        assert piv.get_pivot(x) == wf.get_pivot(x)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    parents_seed=st.integers(min_value=0, max_value=999),
+    size=st.integers(min_value=1, max_value=20),
+    threads=st.integers(min_value=1, max_value=5),
+)
+def test_tree_accumulate_matches_subtree_sums(parents_seed, size, threads):
+    rng = np.random.default_rng(parents_seed)
+    # random forest: parent of i is in [0, i) or none
+    parents = np.array(
+        [-1 if i == 0 or rng.random() < 0.25 else int(rng.integers(0, i)) for i in range(size)],
+        dtype=np.int64,
+    )
+    values = rng.random((size, 2))
+    got = tree_accumulate(SimulatedPool(threads=threads), parents, values)
+    # oracle
+    children: list[list[int]] = [[] for _ in range(size)]
+    for i, p in enumerate(parents):
+        if p >= 0:
+            children[p].append(i)
+
+    def subtree(i):
+        total = values[i].copy()
+        for ch in children[i]:
+            total += subtree(ch)
+        return total
+
+    expected = np.stack([subtree(i) for i in range(size)])
+    assert np.allclose(got, expected)
+
+
+@settings(max_examples=30, deadline=None)
+@given(edges=edge_lists)
+def test_monotone_primary_values_up_the_hierarchy(edges):
+    """Parents' cores contain children's: n, m, triangles monotone."""
+    g = build(edges)
+    coreness = core_decomposition(g)
+    hcd = lcps_build_hcd(g, coreness)
+    result = pbks_search(
+        g, coreness, hcd, "clustering_coefficient", SimulatedPool()
+    )
+    for node in range(hcd.num_nodes):
+        pa = int(hcd.parent[node])
+        if pa < 0:
+            continue
+        for col in (0, 1, 3, 4):  # n, m, triangles, triplets grow
+            assert result.values[pa][col] >= result.values[node][col]

@@ -1,0 +1,201 @@
+"""Tests for the simulated-multicore scheduler and cost model."""
+
+import pytest
+
+from repro.errors import SchedulerError
+from repro.parallel.context import ThreadContext
+from repro.parallel.cost_model import DEFAULT_COST_MODEL, CostModel
+from repro.parallel.scheduler import SimulatedPool
+
+
+class TestPartitioning:
+    def test_static_partition_covers_all(self):
+        pool = SimulatedPool(threads=4)
+        ranges = pool.partition(10)
+        flat = [i for r in ranges for i in r]
+        assert flat == list(range(10))
+
+    def test_static_partition_balanced(self):
+        pool = SimulatedPool(threads=3)
+        sizes = [len(r) for r in pool.partition(10)]
+        assert sizes == [4, 3, 3]
+
+    def test_partition_more_threads_than_items(self):
+        pool = SimulatedPool(threads=8)
+        sizes = [len(r) for r in pool.partition(3)]
+        assert sum(sizes) == 3
+
+    def test_dynamic_assignment_covers_all(self):
+        pool = SimulatedPool(threads=3)
+        buckets = pool._dynamic_assignment(20, grain=4)
+        flat = sorted(i for b in buckets for i in b)
+        assert flat == list(range(20))
+
+    def test_dynamic_bad_grain(self):
+        pool = SimulatedPool(threads=2)
+        with pytest.raises(SchedulerError):
+            pool.parallel_for([1], lambda x, c: x, chunking="dynamic", grain=0)
+
+
+class TestParallelFor:
+    def test_results_in_item_order(self):
+        pool = SimulatedPool(threads=4)
+        out = pool.parallel_for(list(range(17)), lambda x, ctx: x * 2)
+        assert out == [2 * i for i in range(17)]
+
+    def test_dynamic_results_in_item_order(self):
+        pool = SimulatedPool(threads=4)
+        out = pool.parallel_for(
+            list(range(17)), lambda x, ctx: x + 1, chunking="dynamic", grain=2
+        )
+        assert out == [i + 1 for i in range(17)]
+
+    def test_unknown_chunking(self):
+        pool = SimulatedPool(threads=2)
+        with pytest.raises(SchedulerError):
+            pool.parallel_for([1], lambda x, c: x, chunking="guided")
+
+    def test_nested_region_rejected(self):
+        pool = SimulatedPool(threads=2)
+
+        def nested(x, ctx):
+            pool.parallel_for([1], lambda y, c: y)
+
+        with pytest.raises(SchedulerError):
+            pool.parallel_for([1], nested)
+
+    def test_threads_validation(self):
+        with pytest.raises(SchedulerError):
+            SimulatedPool(threads=0)
+
+    def test_same_results_any_thread_count(self):
+        def work(x, ctx):
+            ctx.charge(x)
+            return x * x
+
+        expected = [i * i for i in range(31)]
+        for p in (1, 2, 5, 16):
+            assert SimulatedPool(threads=p).parallel_for(
+                list(range(31)), work
+            ) == expected
+
+
+class TestClock:
+    def test_clock_accumulates(self):
+        pool = SimulatedPool(threads=1)
+        pool.parallel_for([1, 2], lambda x, ctx: ctx.charge(5))
+        first = pool.clock
+        assert first > 0
+        pool.parallel_for([1], lambda x, ctx: ctx.charge(1))
+        assert pool.clock > first
+
+    def test_region_elapsed_is_max_thread(self):
+        # two threads, one does 100 work, the other 1 -> elapsed ~ 100
+        cm = CostModel(op_cost=1.0, spawn_cost=0.0, barrier_cost=0.0)
+        pool = SimulatedPool(threads=2, cost_model=cm)
+
+        def work(x, ctx):
+            ctx.charge(100 if ctx.thread_id == 0 else 1)
+
+        pool.parallel_for([0, 1], work)
+        assert pool.clock == pytest.approx(100.0)
+
+    def test_more_threads_faster_on_balanced_work(self):
+        def work(x, ctx):
+            ctx.charge(50)
+
+        t1 = SimulatedPool(threads=1)
+        t8 = SimulatedPool(threads=8)
+        t1.parallel_for(list(range(64)), work)
+        t8.parallel_for(list(range(64)), work)
+        assert t8.clock < t1.clock
+
+    def test_reset(self):
+        pool = SimulatedPool(threads=1)
+        pool.parallel_for([1], lambda x, ctx: ctx.charge(1))
+        pool.reset()
+        assert pool.clock == 0.0
+        assert pool.regions == []
+
+    def test_mark_elapsed(self):
+        pool = SimulatedPool(threads=1)
+        mark = pool.mark()
+        pool.parallel_for([1], lambda x, ctx: ctx.charge(3))
+        assert pool.elapsed_since(mark) == pool.clock
+
+    def test_serial_region(self):
+        pool = SimulatedPool(threads=4)
+        with pool.serial_region("setup") as ctx:
+            ctx.charge(42)
+        assert pool.clock == pytest.approx(42.0)
+        assert pool.regions[-1].label == "setup"
+
+    def test_serial_region_nested_rejected(self):
+        pool = SimulatedPool(threads=1)
+        with pytest.raises(SchedulerError):
+            with pool.serial_region():
+                with pool.serial_region():
+                    pass
+
+
+class TestContention:
+    def test_contended_atomics_penalized(self):
+        cm = CostModel(spawn_cost=0.0, barrier_cost=0.0)
+        pool = SimulatedPool(threads=4, cost_model=cm)
+
+        def work(x, ctx):
+            ctx.atomic("hot")  # all threads hit the same location
+
+        pool.parallel_for(list(range(40)), work)
+        region = pool.regions[-1]
+        assert region.contention_penalty > 0
+
+    def test_uncontended_atomics_not_penalized(self):
+        cm = CostModel(spawn_cost=0.0, barrier_cost=0.0)
+        pool = SimulatedPool(threads=4, cost_model=cm)
+
+        def work(x, ctx):
+            ctx.atomic("relaxed", contended=False)
+
+        pool.parallel_for(list(range(40)), work)
+        assert pool.regions[-1].contention_penalty == 0
+
+    def test_single_thread_never_contends(self):
+        pool = SimulatedPool(threads=1)
+
+        def work(x, ctx):
+            ctx.atomic("hot")
+
+        pool.parallel_for(list(range(10)), work)
+        assert pool.regions[-1].contention_penalty == 0
+
+    def test_distinct_locations_no_penalty(self):
+        cm = CostModel(spawn_cost=0.0, barrier_cost=0.0)
+        pool = SimulatedPool(threads=4, cost_model=cm)
+        pool.parallel_for(
+            list(range(16)), lambda x, ctx: ctx.atomic(("loc", x))
+        )
+        assert pool.regions[-1].contention_penalty == 0
+
+
+class TestCostModel:
+    def test_scaled(self):
+        scaled = DEFAULT_COST_MODEL.scaled(2.0)
+        assert scaled.op_cost == 2 * DEFAULT_COST_MODEL.op_cost
+        assert scaled.barrier_cost == 2 * DEFAULT_COST_MODEL.barrier_cost
+
+    def test_context_local_time(self):
+        ctx = ThreadContext(0, CostModel(op_cost=1.0, atomic_cost=2.0))
+        ctx.charge(10)
+        ctx.atomic("x")
+        # atomic adds 1 work + 2 atomic surcharge
+        assert ctx.local_time == pytest.approx(10 + 1 + 2)
+
+    def test_region_stats_fields(self):
+        pool = SimulatedPool(threads=2)
+        pool.parallel_for([1, 2, 3], lambda x, ctx: ctx.charge(1), label="lbl")
+        region = pool.regions[-1]
+        assert region.label == "lbl"
+        assert region.items == 3
+        assert region.threads == 2
+        assert region.work_total == pytest.approx(3)

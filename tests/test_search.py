@@ -1,0 +1,211 @@
+"""Cross-algorithm tests for subgraph search (BKS vs PBKS, oracles)."""
+
+import numpy as np
+import pytest
+
+from repro.core.decomposition import core_decomposition
+from repro.core.lcps import lcps_build_hcd
+from repro.core.phcd import phcd_build_hcd
+from repro.graph.generators import erdos_renyi, powerlaw_cluster
+from repro.graph.graph import Graph
+from repro.graph.properties import subgraph_primary_values
+from repro.parallel.scheduler import SimulatedPool
+from repro.search.bks import bks_search, build_coreness_sorted_adjacency
+from repro.search.metrics import metric_names
+from repro.search.pbks import pbks_search
+from repro.search.preprocessing import preprocess_neighbor_counts
+
+
+@pytest.fixture
+def decomposed(random_graph):
+    coreness = core_decomposition(random_graph)
+    hcd = lcps_build_hcd(random_graph, coreness)
+    return random_graph, coreness, hcd
+
+
+class TestPreprocessing:
+    def test_counts_match_direct(self, decomposed):
+        graph, coreness, _ = decomposed
+        counts = preprocess_neighbor_counts(graph, coreness, SimulatedPool(threads=3))
+        for v in range(graph.num_vertices):
+            neigh = graph.neighbors(v)
+            assert counts.gt[v] == int(np.sum(coreness[neigh] > coreness[v]))
+            assert counts.eq[v] == int(np.sum(coreness[neigh] == coreness[v]))
+            assert counts.lt[v] == int(np.sum(coreness[neigh] < coreness[v]))
+
+    def test_ge_helper(self, decomposed):
+        graph, coreness, _ = decomposed
+        counts = preprocess_neighbor_counts(graph, coreness, SimulatedPool())
+        assert np.array_equal(counts.ge(), counts.gt + counts.eq)
+
+    def test_sums_to_degree(self, decomposed):
+        graph, coreness, _ = decomposed
+        counts = preprocess_neighbor_counts(graph, coreness, SimulatedPool())
+        total = counts.gt + counts.eq + counts.lt
+        assert np.array_equal(total, graph.degrees())
+
+
+class TestBksEqualsPbks:
+    @pytest.mark.parametrize("metric", metric_names())
+    def test_scores_identical(self, decomposed, metric):
+        graph, coreness, hcd = decomposed
+        serial = bks_search(graph, coreness, hcd, metric)
+        parallel = pbks_search(
+            graph, coreness, hcd, metric, SimulatedPool(threads=4)
+        )
+        assert np.allclose(serial.scores, parallel.scores)
+        assert serial.best_score == pytest.approx(parallel.best_score)
+        assert np.allclose(serial.values, parallel.values)
+
+    @pytest.mark.parametrize("threads", [1, 2, 8, 16])
+    def test_pbks_thread_invariance(self, decomposed, threads):
+        graph, coreness, hcd = decomposed
+        base = pbks_search(
+            graph, coreness, hcd, "conductance", SimulatedPool(threads=1)
+        )
+        other = pbks_search(
+            graph, coreness, hcd, "conductance", SimulatedPool(threads=threads)
+        )
+        assert np.allclose(base.scores, other.scores)
+
+    def test_type_b_thread_invariance(self, decomposed):
+        graph, coreness, hcd = decomposed
+        runs = [
+            pbks_search(
+                graph,
+                coreness,
+                hcd,
+                "clustering_coefficient",
+                SimulatedPool(threads=p),
+            ).scores
+            for p in (1, 4, 13)
+        ]
+        for other in runs[1:]:
+            assert np.allclose(runs[0], other)
+
+
+class TestPrimaryValueOracle:
+    @pytest.mark.parametrize("metric", ["conductance", "clustering_coefficient"])
+    def test_every_node_matches_direct_computation(self, metric):
+        g = powerlaw_cluster(120, 3, 0.4, seed=11)
+        coreness = core_decomposition(g)
+        hcd = phcd_build_hcd(g, coreness, SimulatedPool(threads=3))
+        result = pbks_search(g, coreness, hcd, metric, SimulatedPool(threads=3))
+        type_b = metric == "clustering_coefficient"
+        for node in range(hcd.num_nodes):
+            members = hcd.reconstruct_core(node)
+            direct = subgraph_primary_values(g, members)
+            got = result.node_values(node)
+            assert got.n == direct["n"]
+            assert got.m == direct["m"]
+            assert got.b == direct["b"]
+            if type_b:
+                assert got.triangles == direct["triangles"]
+                # PBKS counts *all* connected triplets within the core
+                from repro.graph.properties import triplet_count
+
+                sub, _ = g.induced_subgraph(members)
+                assert got.triplets == triplet_count(sub)
+
+    def test_root_values_cover_whole_component_graph(self):
+        g = erdos_renyi(70, 0.08, seed=2)
+        coreness = core_decomposition(g)
+        hcd = lcps_build_hcd(g, coreness)
+        result = pbks_search(
+            g, coreness, hcd, "average_degree", SimulatedPool(threads=2)
+        )
+        roots = hcd.roots()
+        total_n = sum(result.values[r][0] for r in roots)
+        total_m = sum(result.values[r][1] for r in roots)
+        assert total_n == g.num_vertices
+        assert total_m == g.num_edges
+        # roots have no boundary
+        for r in roots:
+            assert result.values[r][2] == 0
+
+
+class TestSearchResult:
+    def test_best_members_is_best_core(self, decomposed):
+        graph, coreness, hcd = decomposed
+        result = pbks_search(
+            graph, coreness, hcd, "average_degree", SimulatedPool()
+        )
+        members = result.best_members()
+        sub, _ = graph.induced_subgraph(members)
+        assert sub.average_degree() == pytest.approx(result.best_score)
+        assert result.best_k == int(hcd.node_coreness[result.best_node])
+
+    def test_best_is_argmax(self, decomposed):
+        graph, coreness, hcd = decomposed
+        result = pbks_search(graph, coreness, hcd, "conductance", SimulatedPool())
+        assert result.best_score == pytest.approx(float(result.scores.max()))
+
+    def test_empty_graph(self):
+        g = Graph.empty(0)
+        hcd = lcps_build_hcd(g, np.array([], dtype=np.int64))
+        result = pbks_search(
+            g, np.array([], dtype=np.int64), hcd, "average_degree", SimulatedPool()
+        )
+        assert result.best_node == -1
+        assert result.best_members().size == 0
+
+    def test_repr(self, decomposed):
+        graph, coreness, hcd = decomposed
+        result = bks_search(graph, coreness, hcd, "average_degree")
+        assert "average_degree" in repr(result)
+
+
+class TestBksInternals:
+    def test_sorted_adjacency_order(self, decomposed):
+        graph, coreness, _ = decomposed
+        sorted_adj = build_coreness_sorted_adjacency(graph, coreness)
+        for v in range(graph.num_vertices):
+            row = sorted_adj[v]
+            cores = coreness[row]
+            assert np.all(np.diff(cores) <= 0)  # descending coreness
+            assert sorted(row.tolist()) == graph.neighbors(v).tolist()
+
+    def test_sorted_adjacency_charges(self, decomposed):
+        graph, coreness, _ = decomposed
+        pool = SimulatedPool()
+        build_coreness_sorted_adjacency(graph, coreness, pool)
+        assert pool.clock > 0
+
+    def test_precomputed_adjacency_reused(self, decomposed):
+        graph, coreness, hcd = decomposed
+        sorted_adj = build_coreness_sorted_adjacency(graph, coreness)
+        a = bks_search(graph, coreness, hcd, "conductance", sorted_adj=sorted_adj)
+        b = bks_search(graph, coreness, hcd, "conductance")
+        assert np.allclose(a.scores, b.scores)
+
+    def test_bks_level_barriers_recorded(self, decomposed):
+        graph, coreness, hcd = decomposed
+        pool = SimulatedPool()
+        bks_search(graph, coreness, hcd, "average_degree", pool)
+        labels = [r.label for r in pool.regions]
+        assert any(lbl.startswith("bks:level_") for lbl in labels)
+
+
+class TestCostShape:
+    def test_pbks_typea_scales_with_threads(self):
+        g = powerlaw_cluster(300, 4, 0.3, seed=1)
+        coreness = core_decomposition(g)
+        hcd = lcps_build_hcd(g, coreness)
+        clocks = {}
+        for p in (1, 16):
+            pool = SimulatedPool(threads=p)
+            counts = preprocess_neighbor_counts(g, coreness, pool)
+            mark = pool.mark()
+            pbks_search(g, coreness, hcd, "conductance", pool, counts=counts)
+            clocks[p] = pool.elapsed_since(mark)
+        assert clocks[16] < clocks[1]
+
+    def test_pbks_faster_than_bks_parallel(self):
+        g = powerlaw_cluster(300, 4, 0.3, seed=1)
+        coreness = core_decomposition(g)
+        hcd = lcps_build_hcd(g, coreness)
+        pool_b = SimulatedPool(threads=1)
+        bks_search(g, coreness, hcd, "conductance", pool_b)
+        pool_p = SimulatedPool(threads=16)
+        pbks_search(g, coreness, hcd, "conductance", pool_p)
+        assert pool_p.clock < pool_b.clock
