@@ -1,0 +1,24 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: check test sanitize lint bench-sanitize
+
+## check: the CI gate — tests, worker lint, kernel race sweep
+check: test sanitize
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+## sanitize: race-check every kernel, lint src/, run the seeded selftest
+sanitize:
+	$(PYTHON) -m repro sanitize --all-kernels
+	$(PYTHON) -m repro sanitize --lint
+	$(PYTHON) -m repro sanitize --selftest
+
+## lint: just the static parallel-loop lint over src/
+lint:
+	$(PYTHON) -m repro sanitize --lint
+
+## bench-sanitize: refresh benchmarks/results/BENCH_sanitize.json
+bench-sanitize:
+	$(PYTHON) benchmarks/bench_sanitize.py

@@ -1,0 +1,132 @@
+"""Sanitizer overhead bench — starts the ``BENCH_sanitize.json`` trajectory.
+
+Runs every registered sanitize kernel twice — once on a bare pool,
+once under the race detector — and records, per kernel:
+
+* the **simulated clock** both ways.  Event recording is charge-free
+  (``ctx.read``/``ctx.write`` replaced equal-unit ``ctx.charge`` calls
+  during the migration, and pure recording uses ``units=0.0``), so the
+  delta must be exactly zero; the bench asserts it and the JSON keeps
+  the numbers so a future PR that accidentally couples detection to the
+  cost model shows up as a nonzero ``sim_delta``.
+* the **wall-clock** time both ways — the real price of building the
+  per-location access maps and the pairwise conflict check.  This is
+  the number to watch as the detector grows.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_sanitize.py
+
+Writes ``benchmarks/results/BENCH_sanitize.json`` and prints a table.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from common import emit, paper_table, results_dir  # noqa: E402
+from repro.parallel.scheduler import SimulatedPool  # noqa: E402
+from repro.sanitizer import KERNELS  # noqa: E402
+from repro.sanitizer.detector import RaceDetector  # noqa: E402
+
+THREADS = 4
+REPEATS = 3
+
+
+def _measure(body, watched: bool) -> tuple[float, float]:
+    """Return (simulated clock, best-of-N wall seconds) for one run."""
+    best = float("inf")
+    clock = 0.0
+    for _ in range(REPEATS):
+        pool = SimulatedPool(threads=THREADS)
+        detector = RaceDetector() if watched else None
+        begin = time.perf_counter()
+        if detector is not None:
+            with detector.watch(pool):
+                body(pool)
+        else:
+            body(pool)
+        best = min(best, time.perf_counter() - begin)
+        clock = pool.clock
+    return clock, best
+
+
+def run() -> dict:
+    records = []
+    for name, body in KERNELS.items():
+        sim_off, wall_off = _measure(body, watched=False)
+        sim_on, wall_on = _measure(body, watched=True)
+        sim_delta = sim_on - sim_off
+        assert sim_delta == 0.0, (
+            f"{name}: detector changed the simulated clock by {sim_delta}"
+            " — recording must stay charge-free"
+        )
+        records.append(
+            {
+                "kernel": name,
+                "sim_clock_off": sim_off,
+                "sim_clock_on": sim_on,
+                "sim_delta": sim_delta,
+                "wall_off_s": wall_off,
+                "wall_on_s": wall_on,
+                "wall_overhead": (
+                    wall_on / wall_off if wall_off > 0 else float("nan")
+                ),
+            }
+        )
+    return {
+        "bench": "sanitize_overhead",
+        "threads": THREADS,
+        "repeats": REPEATS,
+        "kernels": records,
+    }
+
+
+def main() -> int:
+    payload = run()
+    out = results_dir() / "BENCH_sanitize.json"
+    out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    rows = [
+        [
+            r["kernel"],
+            f"{r['sim_clock_off']:.0f}",
+            f"{r['sim_delta']:.0f}",
+            f"{r['wall_off_s'] * 1e3:.1f}",
+            f"{r['wall_on_s'] * 1e3:.1f}",
+            f"{r['wall_overhead']:.2f}x",
+        ]
+        for r in payload["kernels"]
+    ]
+    emit(
+        "bench_sanitize",
+        paper_table(
+            [
+                "kernel",
+                "sim clock",
+                "sim delta",
+                "wall off (ms)",
+                "wall on (ms)",
+                "overhead",
+            ],
+            rows,
+            title="SimTSan detector overhead"
+            f" ({THREADS} virtual threads, best of {REPEATS})",
+        ),
+    )
+    print(f"wrote {out}")
+    return 0
+
+
+def test_bench_sanitize_overhead():
+    """Pytest entry: detector never perturbs the simulated clock."""
+    payload = run()
+    assert all(r["sim_delta"] == 0.0 for r in payload["kernels"])
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,10 @@
+"""Alias module: ``repro.analysis.sanitizer`` → :mod:`repro.sanitizer`.
+
+The sanitizer lives in its own top-level package (it instruments the
+parallel substrate, not the analysis pipeline), but is re-exported
+here so analysis-side code and notebooks can reach it alongside the
+other ``repro.analysis`` entry points.
+"""
+
+from repro.sanitizer import *  # noqa: F401,F403
+from repro.sanitizer import __all__  # noqa: F401

@@ -8,6 +8,7 @@ Subcommands
 ``bestk``      best k for whole k-core sets (Section VI)
 ``report``     full analysis report (profile, hierarchy, best cores)
 ``datasets``   list the built-in dataset stand-ins
+``sanitize``   SimTSan: race-check parallel kernels / lint worker closures
 
 Graphs come either from an edge-list file (``--input``) or a built-in
 stand-in (``--dataset AS|LJ|...``).
@@ -91,6 +92,49 @@ def build_parser() -> argparse.ArgumentParser:
     _add_graph_source(p_report)
 
     sub.add_parser("datasets", help="list built-in dataset stand-ins")
+
+    p_san = sub.add_parser(
+        "sanitize",
+        help="happens-before race detection + parallel-loop lint",
+        description=(
+            "Run the SimTSan race detector over the named parallel "
+            "kernels, the static lint pass over source trees, and the "
+            "seeded-bug selftest.  With no options: all kernels, "
+            "lint over src/, and the selftest."
+        ),
+    )
+    p_san.add_argument(
+        "--all-kernels",
+        action="store_true",
+        help="race-check every registered kernel",
+    )
+    p_san.add_argument(
+        "--kernel",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="race-check one kernel (repeatable; see --list)",
+    )
+    p_san.add_argument(
+        "--lint",
+        nargs="*",
+        metavar="PATH",
+        help="lint parallel workers under PATH(s) (default: src/)",
+    )
+    p_san.add_argument(
+        "--selftest",
+        action="store_true",
+        help="only verify the detector flags the seeded racy kernel",
+    )
+    p_san.add_argument(
+        "--list", action="store_true", help="list registered kernels"
+    )
+    p_san.add_argument(
+        "--threads",
+        type=int,
+        default=4,
+        help="virtual threads for kernel runs (default 4)",
+    )
     return parser
 
 
@@ -164,6 +208,92 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sanitize(args: argparse.Namespace) -> int:
+    from repro.sanitizer import (
+        KERNELS,
+        lint_paths,
+        run_kernel,
+        selftest,
+    )
+
+    if args.list:
+        for name in KERNELS:
+            print(name)
+        return 0
+
+    # default mode: everything
+    explicit = bool(
+        args.all_kernels
+        or args.kernel
+        or args.lint is not None
+        or args.selftest
+    )
+    do_kernels = list(args.kernel)
+    if args.all_kernels or not explicit:
+        do_kernels = list(KERNELS)
+    do_lint = args.lint if args.lint is not None else (
+        None if args.selftest or args.kernel or args.all_kernels else ["src"]
+    )
+    if args.lint is not None and not args.lint:
+        do_lint = ["src"]
+    do_selftest = args.selftest or not explicit
+
+    failed = False
+
+    if args.threads < 1:
+        print(
+            f"--threads must be >= 1, got {args.threads}", file=sys.stderr
+        )
+        return 2
+
+    unknown = [name for name in do_kernels if name not in KERNELS]
+    if unknown:
+        names = ", ".join(sorted(unknown))
+        print(f"unknown kernel(s): {names}", file=sys.stderr)
+        print(f"available: {', '.join(KERNELS)}", file=sys.stderr)
+        return 2
+
+    if do_kernels:
+        print(f"== race detection ({args.threads} virtual threads) ==")
+        for name in do_kernels:
+            report = run_kernel(name, threads=args.threads)
+            status = "ok" if report.clean else f"{len(report.races)} RACE(S)"
+            print(
+                f"  {name:22s} {report.regions:5d} regions "
+                f"{report.events:8d} events  {status}"
+            )
+            for race in report.races:
+                print(f"    {race}")
+                failed = True
+
+    if do_lint:
+        from pathlib import Path
+
+        missing = [p for p in do_lint if not Path(p).exists()]
+        if missing:
+            for p in missing:
+                print(f"no such lint path: {p}", file=sys.stderr)
+            return 2
+        print(f"== lint ({', '.join(str(p) for p in do_lint)}) ==")
+        findings = lint_paths(do_lint)
+        for finding in findings:
+            print(f"  {finding}")
+            if finding.severity == "error":
+                failed = True
+        if not findings:
+            print("  clean")
+
+    if do_selftest:
+        print("== detector selftest (seeded racy kernel) ==")
+        ok, message = selftest(threads=max(args.threads, 2))
+        print(f"  {message}")
+        if not ok:
+            failed = True
+
+    print("== FAILED ==" if failed else "== OK ==")
+    return 1 if failed else 0
+
+
 def _cmd_datasets(_: argparse.Namespace) -> int:
     print(f"{'name':16}{'abbrev':8}description")
     for name in dataset_names():
@@ -179,6 +309,7 @@ _COMMANDS = {
     "search": _cmd_search,
     "bestk": _cmd_bestk,
     "datasets": _cmd_datasets,
+    "sanitize": _cmd_sanitize,
 }
 
 

@@ -67,8 +67,9 @@ def approx_core_decomposition(
                 settled[v] = True
 
             def peel(v: int, ctx) -> None:
+                # each frontier vertex owns its estimate slot
+                ctx.write(("approx_est", int(v)))
                 estimate[v] = threshold
-                ctx.charge(1)
                 for u in indices[indptr[v] : indptr[v + 1]]:
                     u = int(u)
                     ctx.charge(1)

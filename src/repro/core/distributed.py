@@ -53,7 +53,9 @@ def mpm_core_decomposition(
         new_vals = estimate.copy()
 
         def update(v: int, ctx) -> None:
-            ctx.charge(1)
+            # each frontier vertex owns its new_vals slot; estimate is
+            # read-only inside the round (double-buffered)
+            ctx.write(("mpm_new", int(v)))
             neigh_vals = []
             for u in indices[indptr[v] : indptr[v + 1]]:
                 ctx.charge(1)

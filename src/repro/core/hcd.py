@@ -390,9 +390,18 @@ class HCDBuilder:
         self._vertices.append([])
         return node
 
-    def add_vertex(self, node: int, v: int) -> None:
-        """Place vertex ``v`` into tree node ``node``."""
+    def add_member(self, node: int, v: int) -> None:
+        """Append ``v`` to ``node``'s member list *without* writing ``tid``.
+
+        The parallel construction (PHCD step 3) publishes ``tid``
+        itself — via CAS for pivots, per-item stores otherwise — so the
+        builder must not issue a second, unrecorded write.
+        """
         self._vertices[node].append(int(v))
+
+    def add_vertex(self, node: int, v: int) -> None:
+        """Place vertex ``v`` into tree node ``node`` (serial callers)."""
+        self.add_member(node, v)
         self.tid[v] = node
 
     def set_parent(self, child: int, parent: int) -> None:

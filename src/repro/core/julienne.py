@@ -68,15 +68,18 @@ def julienne_core_decomposition(graph: Graph, pool: SimulatedPool) -> np.ndarray
         ]
 
         def settle(v: int, ctx) -> None:
+            # each frontier vertex owns its coreness slot
+            ctx.write(("jln_core", int(v)))
             coreness[v] = k
-            ctx.charge(1)
             for u in indices[indptr[v] : indptr[v + 1]]:
                 u = int(u)
                 ctx.charge(1)
                 if settled[u]:
                     continue
-                degree.add(ctx, u, -1)
-                new_deg = max(int(degree.data[u]), k)
+                # bucket target comes from the fetch-add result — a raw
+                # re-read would race with concurrent decrements
+                old = degree.add(ctx, u, -1)
+                new_deg = max(int(old) - 1, k)
                 # bucket move: charged as one bucket insert
                 ctx.charge(1)
                 next_moves[ctx.thread_id].append((u, new_deg))

@@ -127,7 +127,8 @@ def rc_build_hcd(
             for child in sorted(children):
                 builder.set_parent(child, node)
             for u in components[idx]:
-                chain_top[u] = node
+                ctx.write(("rc_chain", int(u)), 0.0)
+                chain_top[u] = node  # sani: ok - components are disjoint vertex sets
 
         pool.parallel_for(
             list(range(len(components))), absorb, label=f"rc:level_{k}"

@@ -42,7 +42,7 @@ def park_core_decomposition(graph: Graph, pool: SimulatedPool) -> np.ndarray:
 
             def scan(v: int, ctx) -> None:
                 ctx.charge(1)
-                if not settled[v] and degree.data[v] <= k:
+                if not settled[v] and degree.load(ctx, v) <= k:
                     shared_frontier.append(ctx, v)
 
             pool.parallel_for(range(n), scan, label=f"park:scan_k{k}")
@@ -54,8 +54,9 @@ def park_core_decomposition(graph: Graph, pool: SimulatedPool) -> np.ndarray:
                 settled[v] = True
 
             def process(v: int, ctx) -> None:
+                # each frontier vertex owns its coreness slot
+                ctx.write(("park_core", int(v)))
                 coreness[v] = k
-                ctx.charge(1)
                 for u in indices[indptr[v] : indptr[v + 1]]:
                     u = int(u)
                     ctx.charge(1)

@@ -59,6 +59,7 @@ def label_propagation_partition(
             best = min(votes, key=lambda lab: (-votes[lab], lab))
             if best != labels[v] and sizes[best] < capacity:
                 ctx.atomic(("part_sizes", best))
+                ctx.write(("part_newlab", int(v)), 0.0)
                 new_labels[v] = best
 
         pool.parallel_for(range(n), relabel, label=f"partition:iter{it}")

@@ -33,7 +33,7 @@ import numpy as np
 from repro.core.hcd import HCD, HCDBuilder
 from repro.core.vertex_rank import VertexRankResult, compute_vertex_rank
 from repro.graph.graph import Graph
-from repro.parallel.atomics import AtomicSet
+from repro.parallel.atomics import AtomicArray, AtomicSet
 from repro.parallel.scheduler import SimulatedPool
 from repro.unionfind.pivot import PivotUnionFind
 from repro.unionfind.waitfree import SimulatedWaitFreeUnionFind
@@ -100,7 +100,11 @@ def phcd_build_hcd(
         uf = PivotUnionFind(ranks)
 
     # tid(v) = -1 marks "no tree node yet" (the paper's infinity).
+    # All cross-thread tid traffic goes through the atomic wrapper so
+    # it is charged and visible to the race detector; per-item stores
+    # use recorded plain writes (each shell vertex owns its own slot).
     tid = builder.tid  # shared alias; builder maintains it
+    tid_arr = AtomicArray.from_array(builder.tid, name="tid")
 
     for k in range(kmax, -1, -1):
         shell = shells[k]
@@ -143,15 +147,26 @@ def phcd_build_hcd(
         # --- Step 3: one tree node per distinct pivot ------------------
         def group_by_pivot(v: int, ctx) -> None:
             pvt = uf.get_pivot(v, ctx)
-            ctx.charge(1)
-            if tid[pvt] < 0:
-                node = builder.new_node(k)
-                ctx.atomic(("tid", pvt))
-                tid[pvt] = node
-            node = int(tid[pvt])
+            node = int(tid_arr.load(ctx, pvt))
+            if node < 0:
+                # Two threads holding vertices of one component race to
+                # create its node: allocate, then publish via CAS — the
+                # loser re-reads the winner's node.  (On the sequential
+                # substrate the CAS never loses; a real backend would
+                # also retire the orphaned allocation.)
+                fresh = builder.new_node(k)
+                ctx.atomic(("hcd_nodes",), contended=False)
+                if tid_arr.compare_and_swap(ctx, pvt, -1, fresh):
+                    node = fresh
+                else:
+                    node = int(tid_arr.load(ctx, pvt))
+            if v != pvt:
+                # each shell vertex owns its own tid slot this round
+                ctx.write(("tid", int(v)), 0.0)
+                tid[v] = node
             # member append: relaxed fetch-add on the node's tail
             ctx.atomic(("node_members", node), contended=False)
-            builder.add_vertex(node, v)
+            builder.add_member(node, v)
 
         pool.parallel_for(
             shell_list,
@@ -162,9 +177,10 @@ def phcd_build_hcd(
         # --- Step 4: attach child tree nodes under the new nodes -------
         def attach_parent(old_pivot: int, ctx) -> None:
             pvt = uf.get_pivot(old_pivot, ctx)
-            child = int(tid[old_pivot])
-            parent = int(tid[pvt])
-            ctx.charge(2)
+            child = int(tid_arr.load(ctx, old_pivot))
+            parent = int(tid_arr.load(ctx, pvt))
+            # distinct old pivots map to distinct child nodes
+            ctx.write(("hcd_parent", child), 0.0)
             builder.set_parent(child, parent)
 
         pool.parallel_for(

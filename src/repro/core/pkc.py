@@ -40,8 +40,8 @@ def pkc_core_decomposition(graph: Graph, pool: SimulatedPool) -> np.ndarray:
     while remaining > 0:
         # Scan for the level-k seed frontier among undecided vertices.
         def scan(v: int, ctx) -> int:
-            ctx.charge(1)
-            if not settled[v] and degree.data[v] <= k:
+            # charged atomic load (earlier peel rounds decremented it)
+            if degree.load(ctx, v) <= k:
                 return v
             return -1
 
@@ -56,15 +56,19 @@ def pkc_core_decomposition(graph: Graph, pool: SimulatedPool) -> np.ndarray:
             next_parts: list[list[int]] = [[] for _ in range(pool.threads)]
 
             def process(v: int, ctx) -> None:
+                # each frontier vertex owns its coreness slot
+                ctx.write(("pkc_core", int(v)))
                 coreness[v] = k
-                ctx.charge(1)
                 for u in indices[indptr[v] : indptr[v + 1]]:
                     u = int(u)
                     ctx.charge(1)
                     if settled[u]:
                         continue
-                    degree.add(ctx, u, -1)
-                    if degree.data[u] == k:
+                    # branch on the fetch-add result, never on a raw
+                    # re-read of the slot: concurrent decrements would
+                    # make the re-read miss (or duplicate) the handoff
+                    old = degree.add(ctx, u, -1)
+                    if old - 1 == k:
                         # local buffer append: PKC's low-sync design
                         ctx.charge(1)
                         next_parts[ctx.thread_id].append(u)

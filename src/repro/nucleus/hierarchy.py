@@ -25,7 +25,7 @@ import numpy as np
 
 from repro.errors import HierarchyError
 from repro.graph.graph import Graph
-from repro.parallel.atomics import AtomicSet
+from repro.parallel.atomics import AtomicArray, AtomicSet
 from repro.parallel.scheduler import SimulatedPool
 from repro.nucleus.decomposition import TriangleIndex, nucleus_decomposition
 from repro.unionfind.pivot import PivotUnionFind
@@ -160,8 +160,9 @@ def nucleus_hierarchy(
     for tid in range(t):
         shells[int(theta[tid])].append(tid)
 
-    uf = PivotUnionFind(rank)
+    uf = PivotUnionFind(rank, name="nucleus_uf")
     tid_node = np.full(t, -1, dtype=np.int64)
+    tid_arr = AtomicArray.from_array(tid_node, name="nucleus_tid")
     node_theta: list[int] = []
     node_parent: list[int] = []
     node_triangles: list[list[int]] = []
@@ -221,21 +222,32 @@ def nucleus_hierarchy(
         # Step 3: group shell triangles into nodes by pivot.
         def group(tid: int, ctx) -> None:
             pvt = uf.get_pivot(tid, ctx)
-            ctx.charge(1)
-            if tid_node[pvt] < 0:
-                tid_node[pvt] = new_node(k)
-            node = int(tid_node[pvt])
+            node = int(tid_arr.load(ctx, pvt))
+            if node < 0:
+                # create-node race between shell triangles of one
+                # component: allocate, publish via CAS, loser re-reads
+                fresh = new_node(k)
+                ctx.atomic(("nucleus_nodes",), contended=False)
+                if tid_arr.compare_and_swap(ctx, pvt, -1, fresh):
+                    node = fresh
+                else:
+                    node = int(tid_arr.load(ctx, pvt))
+            if tid != pvt:
+                # each shell triangle owns its tid_node slot this round
+                ctx.write(("nucleus_tid", int(tid)), 0.0)
+                tid_node[tid] = node
             ctx.atomic(("nucleus_members", node), contended=False)
-            node_triangles[node].append(tid)
-            tid_node[tid] = node
+            node_triangles[node].append(tid)  # sani: ok - tail append, charged atomic above
 
         pool.parallel_for(shell, group, label=f"nucleus:step3_k{k}")
 
         # Step 4: attach captured children under the new nodes.
         def attach(old_pivot: int, ctx) -> None:
             pvt = uf.get_pivot(old_pivot, ctx)
-            ctx.charge(2)
-            node_parent[int(tid_node[old_pivot])] = int(tid_node[pvt])
+            child = int(tid_arr.load(ctx, old_pivot))
+            parent = int(tid_arr.load(ctx, pvt))
+            ctx.write(("nucleus_parent", child), 0.0)
+            node_parent[child] = parent  # sani: ok - distinct old pivots, distinct children
 
         pool.parallel_for(list(kpc_pivot), attach, label=f"nucleus:step4_k{k}")
 

@@ -98,8 +98,11 @@ def tree_accumulate(
 
         def push_to_parent(node: int, ctx) -> None:
             parent = int(parents[node])
-            ctx.charge(width)
             for col in range(width):
+                # plain read of the child's row (depth-d rows are only
+                # written at the *next* level's region, so the read set
+                # and the atomic write set never overlap within a level)
+                ctx.read((label, node * width + col))
                 sink.add(
                     ctx, parent * width + col, vals[node, col]
                 )
@@ -181,7 +184,10 @@ def tree_accumulate_euler(
         source = prefix.copy()
 
         def shift_add(i: int, ctx) -> None:
-            ctx.charge(width)
+            # source is a pre-region snapshot (read-only here); each
+            # position owns its prefix row, so writes are disjoint
+            ctx.read((f"{label}:source{stride}", int(i - stride)), 0.0)
+            ctx.write((f"{label}:prefix", int(i)), width)
             prefix[i] += source[i - stride]
 
         pool.parallel_for(
@@ -195,7 +201,9 @@ def tree_accumulate_euler(
     out = np.empty_like(vals)
 
     def subtree_total(node: int, ctx) -> None:
-        ctx.charge(width)
+        # prefix is frozen after the scan regions; each node owns its
+        # output row
+        ctx.write((f"{label}:out", int(node)), width)
         hi = prefix[end[node] - 1]
         lo = prefix[start[node] - 1] if start[node] > 0 else 0.0
         out[node] = hi - lo

@@ -8,7 +8,20 @@ charge is the point.
 
 Location keys coalesce array indices to cache-line granularity
 (:data:`~repro.parallel.context.CACHELINE_WORDS`) so nearby slots
-contend, modelling false sharing.
+contend, modelling false sharing.  Race-detection events use the
+*word*-granular key instead: two atomics on different words of one
+cache line contend but do not race.
+
+Sanitizer contract
+------------------
+Every access that goes through a method taking a ``ctx`` is recorded
+as a *synchronized* (atomic) access and can never be flagged by the
+race detector.  The bare ``.data`` / ``.value`` escape hatches exist
+for **post-region inspection only**: inside a parallel region they are
+uncharged, invisible to the detector, and — on a real machine — racy.
+The static lint pass (:mod:`repro.sanitizer.lint`) flags them inside
+worker bodies; kernels use :meth:`AtomicArray.load` /
+:meth:`AtomicCounter.load` instead.
 """
 
 from __future__ import annotations
@@ -39,9 +52,19 @@ class AtomicCounter:
         self._value += delta
         return old
 
+    def load(self, ctx: ThreadContext) -> int:
+        """Charged atomic load of the current value.
+
+        The in-region read API: one work unit, recorded as a
+        synchronized read so the detector can pair it against
+        concurrent ``fetch_add`` traffic without flagging a race.
+        """
+        ctx.atomic_load(self._key)
+        return self._value
+
     @property
     def value(self) -> int:
-        """Current value (non-atomic read)."""
+        """Current value — uncharged, for *post-region inspection only*."""
         return self._value
 
 
@@ -54,32 +77,73 @@ class AtomicArray:
         self.data = np.zeros(size, dtype=dtype)
         self._name = name
 
+    @classmethod
+    def from_array(cls, data: np.ndarray, name: str = "arr") -> "AtomicArray":
+        """Wrap an existing 1-D array *without copying*.
+
+        The wrapper and the caller share the buffer: kernels use this
+        to give charged, detector-visible atomic access to state that
+        another component owns (e.g. PHCD publishing tree-node ids
+        into the builder's ``tid`` array).
+        """
+        arr = cls.__new__(cls)
+        arr.data = data
+        arr._name = name
+        return arr
+
     def _key(self, index: int) -> tuple[str, int]:
+        """Cache-line-coalesced contention key (false sharing)."""
         return (self._name, index // CACHELINE_WORDS)
 
-    def add(self, ctx: ThreadContext, index: int, delta) -> None:
-        """Atomic ``data[index] += delta`` (relaxed fetch-add)."""
-        ctx.atomic(self._key(index), contended=False)
+    def _word(self, index: int) -> tuple[str, int]:
+        """Exact-word key used for race detection."""
+        return (self._name, int(index))
+
+    def add(self, ctx: ThreadContext, index: int, delta):
+        """Atomic ``data[index] += delta`` (relaxed fetch-add).
+
+        Returns the *previous* value — real parallel peeling code must
+        branch on the fetch-add result, never on a later raw re-read
+        of the slot (which would race with other decrements).
+        """
+        ctx.atomic(self._key(index), contended=False, word=self._word(index))
+        old = self.data[index]
         self.data[index] += delta
+        return old
 
     def store(self, ctx: ThreadContext, index: int, value) -> None:
         """Atomic ``data[index] = value`` (publication, contends)."""
-        ctx.atomic(self._key(index))
+        ctx.atomic(self._key(index), word=self._word(index))
         self.data[index] = value
 
     def compare_and_swap(
         self, ctx: ThreadContext, index: int, expected, value
     ) -> bool:
         """CAS: write ``value`` iff the slot holds ``expected``."""
-        ctx.atomic(self._key(index))
+        ctx.atomic(self._key(index), word=self._word(index))
         if self.data[index] == expected:
             self.data[index] = value
             return True
         return False
 
+    def fetch_min(self, ctx: ThreadContext, index: int, value):
+        """Atomic ``data[index] = min(data[index], value)``; returns old.
+
+        Modelled as the usual load + CAS-min loop: an improving value
+        pays one contended CAS, a non-improving one only the load.  On
+        the sequential substrate the CAS succeeds on the first try.
+        """
+        old = self.data[index]
+        if value < old:
+            ctx.atomic(self._key(index), word=self._word(index))
+            self.data[index] = value
+        else:
+            ctx.atomic_load(self._word(index))
+        return old
+
     def load(self, ctx: ThreadContext, index: int):
-        """Plain (charged) read of ``data[index]``."""
-        ctx.charge()
+        """Charged atomic load of ``data[index]`` (one work unit)."""
+        ctx.atomic_load(self._word(index))
         return self.data[index]
 
     def __len__(self) -> int:
@@ -106,14 +170,20 @@ class AtomicSet:
     def add_if_absent(self, ctx: ThreadContext, item) -> bool:
         """Insert ``item``; return True when it was not present.
 
-        A plain read precedes the insert (check-then-CAS), so repeated
-        inserts of an existing element cost one read and never contend
-        — only the first insertion of each element pays the CAS.
+        An atomic probe precedes the insert (check-then-CAS), so
+        repeated inserts of an existing element cost one read and never
+        contend — only the first insertion of each element pays the CAS.
+        The probe and the insert are both keyed by the item identity,
+        so two threads racing on the *same* element pair as atomic
+        read vs. atomic write (synchronized, as in a concurrent set).
         """
-        ctx.charge(0.3)  # cached hash probe
+        ctx.atomic_load(("setitem", self._name, item), units=0.3)
         if item in self._items:
             return False
-        ctx.atomic((self._name, hash(item) % self._buckets))
+        ctx.atomic(
+            (self._name, hash(item) % self._buckets),
+            word=("setitem", self._name, item),
+        )
         self._items.add(item)
         return True
 

@@ -7,18 +7,55 @@ ordinary operations and :meth:`atomic` for atomic read-modify-write
 operations on a named shared location.  The scheduler turns the
 recorded charges into simulated time; see
 :mod:`repro.parallel.cost_model`.
+
+Memory-access recording
+-----------------------
+When a :class:`~repro.sanitizer.detector.RaceDetector` is attached to
+the pool, each context additionally records a *memory-access event
+stream*: plain reads/writes (:meth:`read`, :meth:`write`) and atomic
+accesses (:meth:`atomic`, :meth:`atomic_load`) on per-word location
+keys.  The detector replays the stream against a vector-clock
+happens-before model to flag unsynchronized conflicting accesses —
+races that the deterministic sequential execution of virtual threads
+would otherwise mask forever.  Recording is off by default
+(``_events is None``) and costs one predicate test per charge site.
+
+Event kinds are small ints so hot paths append plain tuples:
+
+========================  =====================================================
+:data:`EV_READ`           plain (unsynchronized) read
+:data:`EV_WRITE`          plain (unsynchronized) write
+:data:`EV_ATOMIC_READ`    atomic load (relaxed/acquire read, synchronized)
+:data:`EV_ATOMIC_WRITE`   atomic RMW / store / CAS (synchronized)
+========================  =====================================================
 """
 
 from __future__ import annotations
 
 from repro.parallel.cost_model import CostModel
 
-__all__ = ["ThreadContext", "CACHELINE_WORDS"]
+__all__ = [
+    "ThreadContext",
+    "CACHELINE_WORDS",
+    "EV_READ",
+    "EV_WRITE",
+    "EV_ATOMIC_READ",
+    "EV_ATOMIC_WRITE",
+    "EVENT_NAMES",
+]
 
 #: Atomic locations are coalesced at this granularity to model false
 #: sharing: two threads hitting nearby array slots contend for the same
 #: cache line.
 CACHELINE_WORDS = 8
+
+EV_READ = 0
+EV_WRITE = 1
+EV_ATOMIC_READ = 2
+EV_ATOMIC_WRITE = 3
+
+#: Human-readable names of the event kinds, indexed by kind.
+EVENT_NAMES = ("read", "write", "atomic read", "atomic write")
 
 
 class ThreadContext:
@@ -34,7 +71,14 @@ class ThreadContext:
         Number of atomic operations charged so far.
     """
 
-    __slots__ = ("thread_id", "work", "atomic_ops", "_cost", "_atomic_locations")
+    __slots__ = (
+        "thread_id",
+        "work",
+        "atomic_ops",
+        "_cost",
+        "_atomic_locations",
+        "_events",
+    )
 
     def __init__(self, thread_id: int, cost_model: CostModel) -> None:
         self.thread_id = thread_id
@@ -43,6 +87,8 @@ class ThreadContext:
         self._cost = cost_model
         #: location-key -> number of atomic ops by this thread
         self._atomic_locations: dict[object, int] = {}
+        #: memory-access event stream (None = recording disabled)
+        self._events: list[tuple[int, object]] | None = None
 
     def charge(self, units: float = 1) -> None:
         """Charge ``units`` of ordinary work.
@@ -55,7 +101,11 @@ class ThreadContext:
         self.work += units
 
     def atomic(
-        self, location: object, units: int = 1, contended: bool = True
+        self,
+        location: object,
+        units: int = 1,
+        contended: bool = True,
+        word: object | None = None,
     ) -> None:
         """Charge ``units`` atomic operations on a shared ``location``.
 
@@ -69,6 +119,12 @@ class ThreadContext:
         (hardware fetch-add): it pays the atomic surcharge but does not
         serialize on the critical path — only CAS-style operations
         (links, publications, insert-if-absent) queue behind each other.
+
+        ``word`` optionally names the exact machine word for the race
+        detector.  Contention is modelled at cache-line granularity
+        (false sharing), but two atomics on *different* words of one
+        line do not race — so detection uses the word key when given
+        and falls back to ``location``.
         """
         self.atomic_ops += units
         self.work += units  # the op itself is also work
@@ -76,6 +132,74 @@ class ThreadContext:
             self._atomic_locations[location] = (
                 self._atomic_locations.get(location, 0) + units
             )
+        if self._events is not None:
+            self._events.append(
+                (EV_ATOMIC_WRITE, location if word is None else word)
+            )
+
+    # ------------------------------------------------------------------
+    # recorded plain / atomic accesses (sanitizer-visible)
+    # ------------------------------------------------------------------
+
+    def read(self, location: object, units: float = 1.0) -> None:
+        """Charge a plain read of the shared word ``location``.
+
+        Equivalent to :meth:`charge` for the cost model, but visible to
+        the race detector as an *unsynchronized* read.  Pass
+        ``units=0.0`` when the surrounding code already charged the
+        access and only the event matters.
+        """
+        self.work += units
+        if self._events is not None:
+            self._events.append((EV_READ, location))
+
+    def write(self, location: object, units: float = 1.0) -> None:
+        """Charge a plain write of the shared word ``location``.
+
+        The write itself is *not* synchronized: the detector flags it
+        against any concurrent access of the same word.  Kernels use
+        this for stores whose disjointness across threads is a proof
+        obligation (per-item output slots, permutation scatters).
+        """
+        self.work += units
+        if self._events is not None:
+            self._events.append((EV_WRITE, location))
+
+    def atomic_load(self, location: object, units: float = 1.0) -> None:
+        """Charge an atomic (synchronized) load of ``location``.
+
+        Atomic wrappers use this for their read APIs: a relaxed atomic
+        load does not pay the RMW surcharge — it costs ordinary work —
+        but unlike :meth:`read` it never races with atomic writes.
+        """
+        self.work += units
+        if self._events is not None:
+            self._events.append((EV_ATOMIC_READ, location))
+
+    def record(self, kind: int, location: object) -> None:
+        """Append a raw access event without charging.
+
+        For structures whose cost is charged at a flat amortized rate
+        (union-find's ``FIND_CHARGE``) but whose individual slot
+        accesses must still reach the detector.
+        """
+        if self._events is not None:
+            self._events.append((kind, location))
+
+    def begin_recording(self) -> None:
+        """Start (or reset) memory-access event recording."""
+        self._events = []
+
+    def end_recording(self) -> list[tuple[int, object]]:
+        """Stop recording and return the event stream."""
+        events = self._events or []
+        self._events = None
+        return events
+
+    @property
+    def events(self) -> list[tuple[int, object]]:
+        """Recorded ``(kind, location)`` events (empty when disabled)."""
+        return self._events if self._events is not None else []
 
     @property
     def local_time(self) -> float:

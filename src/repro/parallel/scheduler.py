@@ -98,6 +98,28 @@ class SimulatedPool:
         self._clock = 0.0
         self._regions: list[RegionStats] = []
         self._in_region = False
+        self._observer: object | None = None
+
+    # ------------------------------------------------------------------
+    # observation (race detection / tracing)
+    # ------------------------------------------------------------------
+
+    def set_observer(self, observer: object | None) -> None:
+        """Install a region observer (e.g. a sanitizer race detector).
+
+        The observer receives ``on_region_begin(label, contexts)``
+        before any worker runs (typically enabling event recording on
+        each :class:`ThreadContext`) and ``on_region_end(label,
+        contexts)`` after the region's accounting closes — the barrier
+        point, and therefore the happens-before synchronization edge.
+        Pass ``None`` to detach.
+        """
+        self._observer = observer
+
+    @property
+    def observer(self) -> object | None:
+        """The attached region observer, or ``None``."""
+        return self._observer
 
     # ------------------------------------------------------------------
     # clock
@@ -179,6 +201,9 @@ class SimulatedPool:
             assignment = self.partition(count)
         else:
             assignment = self._dynamic_assignment(count, grain)
+        observer = self._observer
+        if observer is not None:
+            observer.on_region_begin(label, contexts)
         self._in_region = True
         try:
             for t, idx_range in enumerate(assignment):
@@ -188,6 +213,8 @@ class SimulatedPool:
         finally:
             self._in_region = False
         self._close_region(label, count, contexts)
+        if observer is not None:
+            observer.on_region_end(label, contexts)
         return results
 
     def _dynamic_assignment(self, count: int, grain: int) -> list[list[int]]:
@@ -264,11 +291,16 @@ class SimulatedPool:
         if self._in_region:
             raise SchedulerError("nested regions are not supported")
         ctx = ThreadContext(0, self.cost_model)
+        observer = self._observer
+        if observer is not None:
+            observer.on_region_begin(label, [ctx])
         self._in_region = True
         try:
             yield ctx
         finally:
             self._in_region = False
+        if observer is not None:
+            observer.on_region_end(label, [ctx])
         self._clock += ctx.local_time
         self._regions.append(
             RegionStats(

@@ -1,0 +1,43 @@
+"""SimTSan: race detection and parallel-loop lint for the substrate.
+
+Two complementary gates over the simulated-multicore kernels:
+
+* :mod:`repro.sanitizer.detector` — a dynamic happens-before race
+  detector replaying per-thread memory-access event streams recorded
+  by :class:`~repro.parallel.context.ThreadContext`;
+* :mod:`repro.sanitizer.lint` — a static AST pass over
+  ``parallel_for`` worker closures flagging unrecorded mutation of
+  captured shared state.
+
+Entry points: ``repro sanitize`` (CLI), ``pytest --sanitize`` (test
+suite under the detector), :func:`repro.sanitizer.kernels.run_all_kernels`
+(programmatic).  Also importable as :mod:`repro.analysis.sanitizer`.
+"""
+
+from repro.sanitizer.detector import RaceDetector, RaceReport
+from repro.sanitizer.kernels import (
+    KERNELS,
+    KernelReport,
+    run_all_kernels,
+    run_kernel,
+)
+from repro.sanitizer.lint import LintFinding, lint_file, lint_paths, lint_source
+from repro.sanitizer.selftest import SELFTEST_PREFIX, run_racy_kernel, selftest
+from repro.sanitizer.vectorclock import VectorClock
+
+__all__ = [
+    "RaceDetector",
+    "RaceReport",
+    "VectorClock",
+    "LintFinding",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+    "KERNELS",
+    "KernelReport",
+    "run_kernel",
+    "run_all_kernels",
+    "SELFTEST_PREFIX",
+    "run_racy_kernel",
+    "selftest",
+]

@@ -1,0 +1,191 @@
+"""Named kernel workloads for ``repro sanitize``.
+
+Each kernel builds a small deterministic input graph, runs one of the
+repo's parallel algorithms on a fresh
+:class:`~repro.parallel.scheduler.SimulatedPool` watched by a
+:class:`~repro.sanitizer.detector.RaceDetector`, and reports what the
+detector saw.  The ``--all-kernels`` CLI mode runs every entry; the
+pytest ``--sanitize`` mode achieves the same coverage through the
+ordinary test suite instead.
+
+The graphs are intentionally small (hundreds of vertices): the
+detector's verdict depends on *which* location keys overlap across
+virtual threads, not on scale, and small inputs keep the gate fast
+enough for CI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.graph.generators import erdos_renyi, powerlaw_cluster
+from repro.parallel.scheduler import SimulatedPool
+from repro.sanitizer.detector import RaceDetector, RaceReport
+
+__all__ = ["KernelReport", "KERNELS", "run_kernel", "run_all_kernels"]
+
+
+@dataclass
+class KernelReport:
+    """Outcome of one kernel run under the detector."""
+
+    name: str
+    threads: int
+    races: list[RaceReport] = field(default_factory=list)
+    regions: int = 0
+    events: int = 0
+    clock: float = 0.0
+
+    @property
+    def clean(self) -> bool:
+        return not self.races
+
+
+def _coreness(graph, pool: SimulatedPool) -> np.ndarray:
+    from repro.core.pkc import pkc_core_decomposition
+
+    return pkc_core_decomposition(graph, pool)
+
+
+# ----------------------------------------------------------------------
+# kernel bodies: fn(pool) -> None
+# ----------------------------------------------------------------------
+
+
+def _kernel_pkc(pool: SimulatedPool) -> None:
+    graph = powerlaw_cluster(240, 3, 0.3, seed=11)
+    _coreness(graph, pool)
+
+
+def _kernel_phcd(pool: SimulatedPool) -> None:
+    from repro.core.phcd import phcd_build_hcd
+
+    graph = powerlaw_cluster(200, 3, 0.3, seed=7)
+    coreness = _coreness(graph, pool)
+    phcd_build_hcd(graph, coreness, pool, use_waitfree=True)
+
+
+def _kernel_phcd_pivot(pool: SimulatedPool) -> None:
+    from repro.core.phcd import phcd_build_hcd
+
+    graph = erdos_renyi(180, 0.04, seed=3)
+    coreness = _coreness(graph, pool)
+    phcd_build_hcd(graph, coreness, pool, use_waitfree=False)
+
+
+def _kernel_pbks(pool: SimulatedPool) -> None:
+    from repro.core.phcd import phcd_build_hcd
+    from repro.search.pbks import pbks_search
+
+    graph = powerlaw_cluster(160, 3, 0.3, seed=5)
+    coreness = _coreness(graph, pool)
+    hcd = phcd_build_hcd(graph, coreness, pool)
+    # internal_density exercises type-A contributions, clustering the
+    # triangle-counting type-B path (Algorithm 5's two motif families)
+    pbks_search(graph, coreness, hcd, "internal_density", pool)
+    pbks_search(graph, coreness, hcd, "clustering_coefficient", pool)
+
+
+def _uf_workload(pool: SimulatedPool, uf) -> None:
+    graph = erdos_renyi(160, 0.05, seed=13)
+    edges = [(int(u), int(v)) for u, v in graph.edges()]
+    pool.parallel_for(
+        edges,
+        lambda e, ctx: uf.union(e[0], e[1], ctx),
+        label="sanitize_uf_union",
+    )
+    pool.parallel_for(
+        list(range(graph.num_vertices)),
+        lambda v, ctx: uf.get_pivot(v, ctx),
+        label="sanitize_uf_pivot",
+    )
+
+
+def _kernel_unionfind_pivot(pool: SimulatedPool) -> None:
+    from repro.unionfind.pivot import PivotUnionFind
+
+    _uf_workload(pool, PivotUnionFind(np.arange(160)))
+
+
+def _kernel_unionfind_waitfree(pool: SimulatedPool) -> None:
+    from repro.unionfind.waitfree import SimulatedWaitFreeUnionFind
+
+    _uf_workload(
+        pool, SimulatedWaitFreeUnionFind(np.arange(160), failure_rate=0.2, seed=5)
+    )
+
+
+def _accumulate_forest(n: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    parents = np.empty(n, dtype=np.int64)
+    parents[0] = -1
+    for i in range(1, n):
+        parents[i] = int(rng.integers(0, i))
+    return parents
+
+
+def _kernel_accumulate(pool: SimulatedPool) -> None:
+    from repro.parallel.accumulate import tree_accumulate
+
+    parents = _accumulate_forest(300, seed=2)
+    values = np.arange(300 * 3, dtype=np.float64).reshape(300, 3) * 0.5
+    tree_accumulate(pool, parents, values)
+
+
+def _kernel_accumulate_euler(pool: SimulatedPool) -> None:
+    from repro.parallel.accumulate import tree_accumulate_euler
+
+    parents = _accumulate_forest(300, seed=4)
+    values = np.arange(300, dtype=np.float64) * 0.5
+    tree_accumulate_euler(pool, parents, values)
+
+
+def _kernel_vertex_rank(pool: SimulatedPool) -> None:
+    from repro.core.vertex_rank import compute_vertex_rank
+
+    graph = powerlaw_cluster(220, 3, 0.3, seed=9)
+    coreness = _coreness(graph, pool)
+    compute_vertex_rank(graph, coreness, pool)
+
+
+#: Registry of named kernels; order is the ``--all-kernels`` run order.
+KERNELS: dict[str, object] = {
+    "pkc": _kernel_pkc,
+    "phcd": _kernel_phcd,
+    "phcd_pivot": _kernel_phcd_pivot,
+    "pbks": _kernel_pbks,
+    "accumulate": _kernel_accumulate,
+    "accumulate_euler": _kernel_accumulate_euler,
+    "unionfind_pivot": _kernel_unionfind_pivot,
+    "unionfind_waitfree": _kernel_unionfind_waitfree,
+    "vertex_rank": _kernel_vertex_rank,
+}
+
+
+def run_kernel(name: str, threads: int = 4) -> KernelReport:
+    """Run one named kernel under a fresh detector; returns its report."""
+    try:
+        body = KERNELS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown kernel {name!r}; available: {', '.join(KERNELS)}"
+        ) from None
+    pool = SimulatedPool(threads=threads)
+    detector = RaceDetector()
+    with detector.watch(pool):
+        body(pool)
+    return KernelReport(
+        name=name,
+        threads=threads,
+        races=list(detector.races),
+        regions=detector.regions_checked,
+        events=detector.events_seen,
+        clock=pool.clock,
+    )
+
+
+def run_all_kernels(threads: int = 4) -> list[KernelReport]:
+    """Run every registered kernel; returns reports in registry order."""
+    return [run_kernel(name, threads=threads) for name in KERNELS]

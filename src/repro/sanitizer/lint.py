@@ -1,0 +1,622 @@
+"""Static AST lint for parallel-for worker closures (SimTSan lint).
+
+The dynamic detector only sees accesses that were recorded; a worker
+that mutates captured Python state *without* going through the
+``ctx``/``Atomic*`` APIs is invisible to it — and uncharged, which
+also skews the cost model.  This pass closes that hole by walking
+every ``pool.parallel_for(items, worker, ...)`` call site and
+analysing the worker body syntactically.
+
+Rules
+-----
+=======  ========  =======================================================
+code     severity  meaning
+=======  ========  =======================================================
+SAN101   error     subscript store into a captured container at an index
+                   not derived from the loop item — overlapping writes
+                   across virtual threads
+SAN102   error     mutating method call (``append``/``add``/``update``/…)
+                   on a captured non-Atomic container
+SAN103   error     attribute store on a captured object, or store to a
+                   ``nonlocal``/``global`` name
+SAN201   warning   bare subscript store at an item-derived index without
+                   a ``ctx.write``/``ctx.read`` record anywhere in the
+                   worker — disjoint per item, but uncharged and
+                   invisible to the race detector
+SAN202   warning   worker performs no ``ctx`` call at all — its work is
+                   free under the cost model
+=======  ========  =======================================================
+
+Escapes
+-------
+* Receivers subscripted by ``ctx.thread_id`` are thread-local buffers
+  and exempt from SAN102 (the standard per-thread-bucket idiom).
+* Names bound to ``Atomic*`` constructors (or
+  ``AtomicArray.from_array``) module-wide are exempt everywhere.
+* A trailing ``# sani: ok`` comment suppresses all findings on that
+  line; include a reason, e.g. ``# sani: ok - permutation scatter``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = ["LintFinding", "lint_source", "lint_file", "lint_paths"]
+
+SUPPRESS_MARKER = "# sani: ok"
+
+#: Method names that mutate their receiver in place.
+MUTATING_METHODS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "add",
+        "discard",
+        "remove",
+        "pop",
+        "popitem",
+        "clear",
+        "update",
+        "setdefault",
+        "sort",
+        "reverse",
+        "appendleft",
+        "fill",
+        "itemset",
+        "put",
+    }
+)
+
+#: Pure builtins allowed inside item-derived index expressions.
+SAFE_BUILTINS = frozenset(
+    {
+        "int",
+        "float",
+        "bool",
+        "len",
+        "min",
+        "max",
+        "abs",
+        "range",
+        "divmod",
+        "round",
+        "sum",
+        "enumerate",
+        "zip",
+        "sorted",
+        "tuple",
+        "frozenset",
+    }
+)
+
+_ATOMIC_CONSTRUCTORS = frozenset(
+    {"AtomicCounter", "AtomicArray", "AtomicSet", "AtomicList"}
+)
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One lint finding, printable as ``path:line:col CODE message``."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    severity: str  # "error" | "warning"
+    message: str
+
+    def __str__(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col} {self.code} "
+            f"[{self.severity}] {self.message}"
+        )
+
+
+# ----------------------------------------------------------------------
+# helpers
+# ----------------------------------------------------------------------
+
+
+def _annotation_is_atomic(ann: ast.expr | None) -> bool:
+    if ann is None:
+        return False
+    for n in ast.walk(ann):
+        if isinstance(n, ast.Name) and n.id in _ATOMIC_CONSTRUCTORS:
+            return True
+        if isinstance(n, ast.Attribute) and n.attr in _ATOMIC_CONSTRUCTORS:
+            return True
+        if isinstance(n, ast.Constant) and isinstance(n.value, str):
+            if any(c in n.value for c in _ATOMIC_CONSTRUCTORS):
+                return True
+    return False
+
+
+def _collect_atomic_names(tree: ast.Module) -> set[str]:
+    """Names bound to ``Atomic*`` constructors or annotations, module-wide."""
+    atomic: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # parameters annotated Atomic* (e.g. ``out: AtomicArray``)
+            all_args = (
+                node.args.posonlyargs
+                + node.args.args
+                + node.args.kwonlyargs
+            )
+            for arg in all_args:
+                if _annotation_is_atomic(arg.annotation):
+                    atomic.add(arg.arg)
+            continue
+        if isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            if _annotation_is_atomic(node.annotation):
+                atomic.add(node.target.id)
+            continue
+        if not isinstance(node, ast.Assign) or not isinstance(node.value, ast.Call):
+            continue
+        func = node.value.func
+        ctor = None
+        if isinstance(func, ast.Name) and func.id in _ATOMIC_CONSTRUCTORS:
+            ctor = func.id
+        elif (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id in _ATOMIC_CONSTRUCTORS
+        ):
+            ctor = func.value.id  # classmethod, e.g. AtomicArray.from_array
+        if ctor is None:
+            continue
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                atomic.add(target.id)
+    return atomic
+
+
+def _suppressed_lines(source: str) -> set[int]:
+    return {
+        i
+        for i, line in enumerate(source.splitlines(), start=1)
+        if SUPPRESS_MARKER in line
+    }
+
+
+def _base_name(node: ast.expr) -> str | None:
+    """The root ``Name`` of a subscript/attribute chain, if any."""
+    while isinstance(node, (ast.Subscript, ast.Attribute)):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _assigned_names(node: ast.AST) -> set[str]:
+    """All names bound (as locals) inside a function body."""
+    names: set[str] = set()
+
+    class _V(ast.NodeVisitor):
+        def _targets(self, target: ast.expr) -> None:
+            if isinstance(target, ast.Name):
+                names.add(target.id)
+            elif isinstance(target, (ast.Tuple, ast.List)):
+                for elt in target.elts:
+                    self._targets(elt)
+
+        def visit_Assign(self, n: ast.Assign) -> None:
+            for t in n.targets:
+                self._targets(t)
+            self.generic_visit(n)
+
+        def visit_AnnAssign(self, n: ast.AnnAssign) -> None:
+            self._targets(n.target)
+            self.generic_visit(n)
+
+        def visit_AugAssign(self, n: ast.AugAssign) -> None:
+            self._targets(n.target)
+            self.generic_visit(n)
+
+        def visit_For(self, n: ast.For) -> None:
+            self._targets(n.target)
+            self.generic_visit(n)
+
+        def visit_withitem(self, n: ast.withitem) -> None:
+            if n.optional_vars is not None:
+                self._targets(n.optional_vars)
+            self.generic_visit(n)
+
+        def visit_comprehension(self, n: ast.comprehension) -> None:
+            self._targets(n.target)
+            self.generic_visit(n)
+
+        def visit_FunctionDef(self, n: ast.FunctionDef) -> None:
+            names.add(n.name)  # nested defs bind their name; don't descend
+
+        def visit_Lambda(self, n: ast.Lambda) -> None:
+            pass
+
+    _V().visit(node)
+    return names
+
+
+def _free_names(node: ast.expr) -> set[str]:
+    return {n.id for n in ast.walk(node) if isinstance(n, ast.Name)}
+
+
+class _WorkerInfo:
+    """Resolved worker function plus the names of its two parameters."""
+
+    __slots__ = ("node", "item", "ctx", "call_line")
+
+    def __init__(self, node, item: str | None, ctx: str | None, call_line: int):
+        self.node = node
+        self.item = item
+        self.ctx = ctx
+        self.call_line = call_line
+
+
+def _worker_params(fn) -> tuple[str | None, str | None]:
+    args = fn.args.posonlyargs + fn.args.args
+    item = args[0].arg if len(args) >= 1 else None
+    ctx = args[1].arg if len(args) >= 2 else None
+    return item, ctx
+
+
+def _find_workers(tree: ast.Module) -> list[_WorkerInfo]:
+    """Resolve the worker function of every ``parallel_for`` call."""
+    defs: list[ast.FunctionDef] = [
+        n for n in ast.walk(tree) if isinstance(n, ast.FunctionDef)
+    ]
+    workers: list[_WorkerInfo] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr == "parallel_for"):
+            continue
+        worker_expr = None
+        if len(node.args) >= 2:
+            worker_expr = node.args[1]
+        else:
+            for kw in node.keywords:
+                if kw.arg == "fn":
+                    worker_expr = kw.value
+        if worker_expr is None:
+            continue
+        if isinstance(worker_expr, ast.Lambda):
+            args = worker_expr.args.posonlyargs + worker_expr.args.args
+            item = args[0].arg if len(args) >= 1 else None
+            ctx = args[1].arg if len(args) >= 2 else None
+            workers.append(_WorkerInfo(worker_expr, item, ctx, node.lineno))
+        elif isinstance(worker_expr, ast.Name):
+            # nearest preceding def with that name (closures are defined
+            # just above their parallel_for in this codebase's idiom)
+            candidates = [
+                d
+                for d in defs
+                if d.name == worker_expr.id and d.lineno <= node.lineno
+            ]
+            if candidates:
+                fn = max(candidates, key=lambda d: d.lineno)
+                item, ctx = _worker_params(fn)
+                workers.append(_WorkerInfo(fn, item, ctx, node.lineno))
+    return workers
+
+
+# ----------------------------------------------------------------------
+# per-worker analysis
+# ----------------------------------------------------------------------
+
+
+class _WorkerLinter:
+    def __init__(
+        self,
+        worker: _WorkerInfo,
+        atomic_names: set[str],
+        suppressed: set[int],
+        path: str,
+    ) -> None:
+        self.w = worker
+        self.atomic = atomic_names
+        self.suppressed = suppressed
+        self.path = path
+        self.findings: list[LintFinding] = []
+        body = worker.node.body
+        self.body_nodes = body if isinstance(body, list) else [body]
+        self.locals = set()
+        for stmt in self.body_nodes:
+            self.locals |= _assigned_names(stmt)
+        self.params = {p for p in (worker.item, worker.ctx) if p}
+        # names derived purely from the loop item
+        self.derived: set[str] = {worker.item} if worker.item else set()
+        self._infer_derived()
+        self.has_ctx_call = self._has_ctx_call()
+        self.has_record_call = self._has_record_call()
+
+    # -- taint ---------------------------------------------------------
+
+    def _item_derived(self, expr: ast.expr) -> bool:
+        """All free names of ``expr`` are item-derived or safe builtins."""
+        free = _free_names(expr)
+        return bool(free) and all(
+            n in self.derived or n in SAFE_BUILTINS for n in free
+        )
+
+    def _infer_derived(self) -> None:
+        # fixed point over simple assignments: x = f(item) makes x derived
+        changed = True
+        while changed:
+            changed = False
+            for stmt in self.body_nodes:
+                for node in ast.walk(stmt):
+                    if not isinstance(node, ast.Assign):
+                        continue
+                    if not self._item_derived(node.value):
+                        continue
+                    for target in node.targets:
+                        if (
+                            isinstance(target, ast.Name)
+                            and target.id not in self.derived
+                        ):
+                            self.derived.add(target.id)
+                            changed = True
+
+    # -- ctx usage -----------------------------------------------------
+
+    def _ctx_calls(self):
+        ctx = self.w.ctx
+        if not ctx:
+            return
+        for stmt in self.body_nodes:
+            for node in ast.walk(stmt):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id == ctx
+                ):
+                    yield node
+
+    def _has_ctx_call(self) -> bool:
+        if any(True for _ in self._ctx_calls()):
+            return True
+        # calls that *pass* ctx (kernel helpers, Atomic methods) count too
+        ctx = self.w.ctx
+        if not ctx:
+            return False
+        for stmt in self.body_nodes:
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Call):
+                    for arg in node.args:
+                        if isinstance(arg, ast.Name) and arg.id == ctx:
+                            return True
+                    for kw in node.keywords:
+                        if isinstance(kw.value, ast.Name) and kw.value.id == ctx:
+                            return True
+        return False
+
+    def _has_record_call(self) -> bool:
+        return any(
+            call.func.attr in ("write", "read", "record")
+            for call in self._ctx_calls()
+        )
+
+    # -- reporting -----------------------------------------------------
+
+    def _emit(
+        self, node: ast.AST, code: str, severity: str, message: str
+    ) -> None:
+        line = getattr(node, "lineno", self.w.call_line)
+        if line in self.suppressed:
+            return
+        self.findings.append(
+            LintFinding(
+                path=self.path,
+                line=line,
+                col=getattr(node, "col_offset", 0),
+                code=code,
+                severity=severity,
+                message=message,
+            )
+        )
+
+    def _is_captured(self, name: str | None) -> bool:
+        return (
+            name is not None
+            and name not in self.locals
+            and name not in self.params
+            and name not in SAFE_BUILTINS
+        )
+
+    # -- rules ---------------------------------------------------------
+
+    def run(self) -> list[LintFinding]:
+        nonlocal_names: set[str] = set()
+        for stmt in self.body_nodes:
+            for node in ast.walk(stmt):
+                if isinstance(node, (ast.Nonlocal, ast.Global)):
+                    nonlocal_names |= set(node.names)
+
+        for stmt in self.body_nodes:
+            for node in ast.walk(stmt):
+                if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                    targets = (
+                        node.targets
+                        if isinstance(node, ast.Assign)
+                        else [node.target]
+                    )
+                    for target in targets:
+                        self._check_store(target, nonlocal_names)
+                elif isinstance(node, ast.Call):
+                    self._check_mutating_call(node)
+
+        if not self.has_ctx_call:
+            self._emit(
+                self.w.node,
+                "SAN202",
+                "warning",
+                "worker performs no ctx call: its work is invisible to "
+                "the cost model (add ctx.charge/read/write or pass ctx "
+                "to a charged helper)",
+            )
+        return self.findings
+
+    def _check_store(self, target: ast.expr, nonlocal_names: set[str]) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._check_store(elt, nonlocal_names)
+            return
+        if isinstance(target, ast.Name):
+            if target.id in nonlocal_names:
+                self._emit(
+                    target,
+                    "SAN103",
+                    "error",
+                    f"store to nonlocal/global {target.id!r} from a "
+                    "parallel worker: every virtual thread writes the "
+                    "same cell (use an Atomic* wrapper or per-thread "
+                    "buffers)",
+                )
+            return
+        if isinstance(target, ast.Attribute):
+            base = _base_name(target)
+            if self._is_captured(base) and base not in self.atomic:
+                self._emit(
+                    target,
+                    "SAN103",
+                    "error",
+                    f"attribute store on captured {base!r} inside a "
+                    "parallel worker",
+                )
+            return
+        if not isinstance(target, ast.Subscript):
+            return
+        base = _base_name(target.value)
+        if not self._is_captured(base):
+            return  # store into a worker-local container
+        if base in self.atomic and not self._subscripts_data(target):
+            return  # atomic wrapper API handles its own accounting
+        # thread-local buffer idiom: bufs[ctx.thread_id][...] = x
+        if self._thread_local_receiver(target.value):
+            return
+        if self._item_derived(target.slice):
+            if not self.has_record_call:
+                self._emit(
+                    target,
+                    "SAN201",
+                    "warning",
+                    f"bare store into captured {base!r} at an "
+                    "item-derived index: disjoint across threads, but "
+                    "uncharged and invisible to the race detector "
+                    "(record it with ctx.write)",
+                )
+            return
+        self._emit(
+            target,
+            "SAN101",
+            "error",
+            f"store into captured {base!r} at an index not derived "
+            "from the loop item: virtual threads may write the same "
+            "slot (use an Atomic* wrapper)",
+        )
+
+    def _subscripts_data(self, target: ast.Subscript) -> bool:
+        """True for ``atomic.data[i] = x`` — bypassing the wrapper."""
+        value = target.value
+        return (
+            isinstance(value, ast.Attribute)
+            and value.attr in ("data", "_items", "_value")
+            and isinstance(value.value, ast.Name)
+            and value.value.id in self.atomic
+        )
+
+    def _thread_local_receiver(self, node: ast.expr) -> bool:
+        """Is ``node`` (or a prefix of it) subscripted by ``ctx.thread_id``?"""
+        ctx = self.w.ctx
+        if not ctx:
+            return False
+        while isinstance(node, (ast.Subscript, ast.Attribute)):
+            if isinstance(node, ast.Subscript):
+                sl = node.slice
+                if (
+                    isinstance(sl, ast.Attribute)
+                    and sl.attr == "thread_id"
+                    and isinstance(sl.value, ast.Name)
+                    and sl.value.id == ctx
+                ):
+                    return True
+            node = node.value
+        return False
+
+    def _check_mutating_call(self, node: ast.Call) -> None:
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return
+        if func.attr not in MUTATING_METHODS:
+            return
+        base = _base_name(func.value)
+        if not self._is_captured(base) or base in self.atomic:
+            return
+        if self._thread_local_receiver(func.value):
+            return
+        # ctx.charge(...) etc. are not container mutations
+        if base == self.w.ctx:
+            return
+        self._emit(
+            node,
+            "SAN102",
+            "error",
+            f"mutating call .{func.attr}() on captured non-Atomic "
+            f"{base!r} inside a parallel worker (use AtomicList/"
+            "AtomicSet or per-thread buffers indexed by "
+            "ctx.thread_id)",
+        )
+
+
+# ----------------------------------------------------------------------
+# entry points
+# ----------------------------------------------------------------------
+
+
+def lint_source(source: str, path: str = "<string>") -> list[LintFinding]:
+    """Lint one module's source text; returns findings sorted by line."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            LintFinding(
+                path=path,
+                line=exc.lineno or 0,
+                col=exc.offset or 0,
+                code="SAN000",
+                severity="error",
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+    atomic_names = _collect_atomic_names(tree)
+    suppressed = _suppressed_lines(source)
+    findings: list[LintFinding] = []
+    for worker in _find_workers(tree):
+        findings.extend(
+            _WorkerLinter(worker, atomic_names, suppressed, path).run()
+        )
+    findings.sort(key=lambda f: (f.line, f.col, f.code))
+    return findings
+
+
+def lint_file(path: str | Path) -> list[LintFinding]:
+    """Lint one Python file."""
+    p = Path(path)
+    return lint_source(p.read_text(encoding="utf-8"), str(p))
+
+
+def lint_paths(paths: list[str | Path]) -> list[LintFinding]:
+    """Lint files and/or directories (recursing into ``*.py``)."""
+    findings: list[LintFinding] = []
+    for entry in paths:
+        p = Path(entry)
+        if p.is_dir():
+            for f in sorted(p.rglob("*.py")):
+                findings.extend(lint_file(f))
+        else:
+            findings.extend(lint_file(p))
+    return findings

@@ -1,0 +1,66 @@
+"""Vector clocks for the happens-before model (SimTSan).
+
+The substrate's synchronization structure is deliberately simple —
+the only ordering edges are region barriers — so the clocks here are
+correspondingly small: one slot per virtual-thread index, reused
+across regions (virtual thread ``t`` of every region maps to slot
+``t``).  Slot reuse is sound because regions never overlap: the
+barrier at the end of region ``r`` joins every epoch of ``r`` into the
+main clock, which every epoch of region ``r+1`` inherits — so
+cross-region accesses are always ordered and same-region accesses by
+different threads are always concurrent.  That collapses the race
+condition to "same region, different virtual thread", but the vector
+clocks keep the detector honest if richer sync primitives (futures,
+async pipelines from the ROADMAP) arrive later.
+"""
+
+from __future__ import annotations
+
+__all__ = ["VectorClock"]
+
+
+class VectorClock:
+    """A fixed-width vector clock over virtual-thread slots."""
+
+    __slots__ = ("_c",)
+
+    def __init__(self, width: int, _clocks: list[int] | None = None) -> None:
+        self._c = _clocks if _clocks is not None else [0] * width
+
+    @property
+    def width(self) -> int:
+        return len(self._c)
+
+    def copy(self) -> "VectorClock":
+        return VectorClock(0, list(self._c))
+
+    def tick(self, slot: int) -> "VectorClock":
+        """Advance ``slot``'s component; returns self for chaining."""
+        self._c[slot] += 1
+        return self
+
+    def join(self, other: "VectorClock") -> "VectorClock":
+        """Component-wise max into self; returns self."""
+        mine, theirs = self._c, other._c
+        for i in range(len(mine)):
+            if theirs[i] > mine[i]:
+                mine[i] = theirs[i]
+        return self
+
+    def happens_before(self, other: "VectorClock") -> bool:
+        """Strict happens-before: self <= other component-wise, self != other."""
+        le = all(a <= b for a, b in zip(self._c, other._c))
+        return le and self._c != other._c
+
+    def concurrent_with(self, other: "VectorClock") -> bool:
+        """Neither clock happens-before the other."""
+        return not self.happens_before(other) and not other.happens_before(self)
+
+    def __getitem__(self, slot: int) -> int:
+        return self._c[slot]
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, VectorClock) and self._c == other._c
+
+    def __repr__(self) -> str:
+        return f"VC{self._c!r}"

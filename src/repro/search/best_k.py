@@ -141,7 +141,8 @@ def find_best_k(
     scores = np.empty(kmax + 1, dtype=np.float64)
 
     def score_level(k: int, ctx) -> None:
-        ctx.charge(1)
+        # each level owns its score slot
+        ctx.write(("bks_scores", int(k)))
         n_, m_, b_, tri, trip = values[k]
         scores[k] = metric(
             PrimaryValues(n=n_, m=m_, b=b_, triangles=tri, triplets=trip),

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.hcd import HCD
+from repro.parallel.atomics import AtomicArray
 from repro.parallel.scheduler import SimulatedPool
 
 __all__ = ["InfluentialCommunity", "InfluentialCommunityIndex"]
@@ -65,21 +66,28 @@ class InfluentialCommunityIndex:
             )
         pool = pool or SimulatedPool(threads=1)
         t = hcd.num_nodes
-        node_min = np.full(t, np.inf, dtype=np.float64)
-        sizes = np.zeros(t, dtype=np.int64)
+        # Vertices of one tree node are spread across threads, so the
+        # per-node fold must be atomic: a plain `if w < min: min = w`
+        # loses updates under concurrent writers (a real race the
+        # sanitizer flags).  fetch_min / fetch_add are the lock-free
+        # equivalents.
+        node_min = AtomicArray(t, dtype=np.float64, name="inf_min")
+        node_min.data[:] = np.inf
+        sizes = AtomicArray(t, dtype=np.int64, name="inf_size")
 
         # per-node minima over the node's own vertices
         def fold_vertex(v: int, ctx) -> None:
             ctx.charge(1)
             node = int(hcd.tid[v])
-            if weights[v] < node_min[node]:
-                node_min[node] = weights[v]
-            sizes[node] += 1
+            node_min.fetch_min(ctx, node, weights[v])
+            sizes.add(ctx, node, 1)
 
         if hcd.num_vertices:
             pool.parallel_for(
                 range(hcd.num_vertices), fold_vertex, label="influence:fold"
             )
+        node_min = node_min.data
+        sizes = sizes.data
 
         # bottom-up min accumulation: influence of a core is the min
         # over its subtree (children processed before parents)

@@ -242,7 +242,8 @@ def pbks_search(
     scores = np.empty(t, dtype=np.float64)
 
     def score_node(i: int, ctx) -> None:
-        ctx.charge(1)
+        # each tree node owns its score slot
+        ctx.write(("pbks_scores", int(i)))
         n_, m_, b_, tri, trip = accumulated[i]
         scores[i] = metric(
             PrimaryValues(n=n_, m=m_, b=b_, triangles=tri, triplets=trip),

@@ -53,7 +53,8 @@ def preprocess_neighbor_counts(
     indptr, indices = graph.indptr, graph.indices
 
     def count(v: int, ctx) -> None:
-        ctx.charge(1)
+        # one recorded write covers the vertex's gt/eq output pair
+        ctx.write(("pre_counts", int(v)))
         cv = coreness[v]
         g = 0
         e = 0

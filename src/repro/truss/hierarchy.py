@@ -29,7 +29,7 @@ import numpy as np
 
 from repro.errors import HierarchyError
 from repro.graph.graph import Graph
-from repro.parallel.atomics import AtomicSet
+from repro.parallel.atomics import AtomicArray, AtomicSet
 from repro.parallel.scheduler import SimulatedPool
 from repro.truss.decomposition import EdgeIndex, truss_decomposition
 from repro.unionfind.pivot import PivotUnionFind
@@ -186,8 +186,9 @@ def truss_hierarchy(
     for eid in range(m):
         shells[int(trussness[eid])].append(eid)
 
-    uf = PivotUnionFind(rank)
+    uf = PivotUnionFind(rank, name="truss_uf")
     eid_node = np.full(m, -1, dtype=np.int64)
+    eid_arr = AtomicArray.from_array(eid_node, name="truss_eid")
     node_trussness: list[int] = []
     node_parent: list[int] = []
     node_edges: list[list[int]] = []
@@ -270,21 +271,32 @@ def truss_hierarchy(
         # Step 3: group shell edges into nodes by pivot.
         def group(eid: int, ctx) -> None:
             pvt = uf.get_pivot(eid, ctx)
-            ctx.charge(1)
-            if eid_node[pvt] < 0:
-                eid_node[pvt] = new_node(k)
-            node = int(eid_node[pvt])
+            node = int(eid_arr.load(ctx, pvt))
+            if node < 0:
+                # create-node race between shell edges of one
+                # component: allocate, publish via CAS, loser re-reads
+                fresh = new_node(k)
+                ctx.atomic(("truss_nodes",), contended=False)
+                if eid_arr.compare_and_swap(ctx, pvt, -1, fresh):
+                    node = fresh
+                else:
+                    node = int(eid_arr.load(ctx, pvt))
+            if eid != pvt:
+                # each shell edge owns its eid_node slot this round
+                ctx.write(("truss_eid", int(eid)), 0.0)
+                eid_node[eid] = node
             ctx.atomic(("truss_members", node), contended=False)
-            node_edges[node].append(eid)
-            eid_node[eid] = node
+            node_edges[node].append(eid)  # sani: ok - tail append, charged atomic above
 
         pool.parallel_for(shell, group, label=f"truss:step3_k{k}")
 
         # Step 4: attach captured children under the new nodes.
         def attach(old_pivot: int, ctx) -> None:
             pvt = uf.get_pivot(old_pivot, ctx)
-            ctx.charge(2)
-            node_parent[int(eid_node[old_pivot])] = int(eid_node[pvt])
+            child = int(eid_arr.load(ctx, old_pivot))
+            parent = int(eid_arr.load(ctx, pvt))
+            ctx.write(("truss_parent", child), 0.0)
+            node_parent[child] = parent  # sani: ok - distinct old pivots, distinct children
 
         pool.parallel_for(list(kpc_pivot), attach, label=f"truss:step4_k{k}")
 

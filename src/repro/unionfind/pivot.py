@@ -9,13 +9,28 @@ k-shell vertices into tree nodes and to identify parent tree nodes.
 All operations optionally charge a
 :class:`~repro.parallel.context.ThreadContext` so PHCD's simulated cost
 reflects real union-find traffic.
+
+Sanitizer model
+---------------
+Slot accesses are reported to the race detector as *atomic* events on
+word keys ``("ufp", name, slot)`` (parent links) and ``("ufpv", name,
+root)`` (pivots): in a concurrent union-find every one of these is a
+CAS or an atomic load, so cross-thread overlap is synchronized by
+construction.  The events ride on the existing flat charges
+(:data:`FIND_CHARGE`, the per-union atomic) via
+:meth:`~repro.parallel.context.ThreadContext.record`, so simulated
+timings are unchanged by recording.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.parallel.context import ThreadContext
+from repro.parallel.context import (
+    EV_ATOMIC_READ,
+    EV_ATOMIC_WRITE,
+    ThreadContext,
+)
 
 __all__ = ["PivotUnionFind", "FIND_CHARGE"]
 
@@ -36,15 +51,16 @@ class PivotUnionFind:
         the array must assign distinct ranks to distinct vertices.
     """
 
-    __slots__ = ("parent", "rank", "pivot", "_ranks", "_components")
+    __slots__ = ("parent", "rank", "pivot", "_ranks", "_components", "_name")
 
-    def __init__(self, ranks: np.ndarray) -> None:
+    def __init__(self, ranks: np.ndarray, name: str = "puf") -> None:
         size = int(np.asarray(ranks).size)
         self.parent = np.arange(size, dtype=np.int64)
         self.rank = np.zeros(size, dtype=np.int8)  # union-by-rank heights
         self.pivot = np.arange(size, dtype=np.int64)  # pivot at cardinal elem
         self._ranks = np.asarray(ranks, dtype=np.int64)
         self._components = size
+        self._name = name
 
     # ------------------------------------------------------------------
 
@@ -52,10 +68,12 @@ class PivotUnionFind:
         if ctx is not None:
             ctx.charge(units)
 
-    def _charge_atomic(self, ctx: ThreadContext | None, slot: int) -> None:
+    def _charge_atomic(
+        self, ctx: ThreadContext | None, slot: int, word: object
+    ) -> None:
         if ctx is not None:
             # per exact slot: links target distinct roots (see waitfree)
-            ctx.atomic(("uf", slot))
+            ctx.atomic(("uf", slot), word=word)
 
     def find(self, x: int, ctx: ThreadContext | None = None) -> int:
         """Cardinal element of ``x``'s set, with path compression.
@@ -68,14 +86,23 @@ class PivotUnionFind:
         root = x
         while parent[root] != root:
             root = int(parent[root])
+        compressed = parent[x] != root
         while parent[x] != root:
             parent[x], x = root, int(parent[x])
         self._charge(ctx, FIND_CHARGE)
+        if ctx is not None:
+            # concurrent finds use atomic loads / CAS repointing
+            ctx.record(EV_ATOMIC_READ, ("ufp", self._name, int(root)))
+            if compressed:
+                ctx.record(EV_ATOMIC_WRITE, ("ufp", self._name, int(root)))
         return root
 
     def get_pivot(self, x: int, ctx: ThreadContext | None = None) -> int:
         """Pivot (lowest-rank member) of ``x``'s component."""
-        return int(self.pivot[self.find(x, ctx)])
+        root = self.find(x, ctx)
+        if ctx is not None:
+            ctx.record(EV_ATOMIC_READ, ("ufpv", self._name, int(root)))
+        return int(self.pivot[root])
 
     def union(self, x: int, y: int, ctx: ThreadContext | None = None) -> int:
         """Merge ``x``'s and ``y``'s sets, keeping the lower-rank pivot.
@@ -93,11 +120,19 @@ class PivotUnionFind:
         self.parent[ry] = rx
         if self.rank[rx] == self.rank[ry]:
             self.rank[rx] += 1
-        self._charge_atomic(ctx, rx)
-        # pivot of the merged set = lower-vertex-rank of the two pivots
+        # the link itself is the CAS on the loser root's parent slot
+        self._charge_atomic(ctx, rx, word=("ufp", self._name, int(ry)))
+        # pivot of the merged set = lower-vertex-rank of the two pivots;
+        # concurrently this is an atomic-min (load both, CAS the winner) —
+        # cost is folded into the link charge, events recorded raw.
         px, py = int(self.pivot[rx]), int(self.pivot[ry])
+        if ctx is not None:
+            ctx.record(EV_ATOMIC_READ, ("ufpv", self._name, int(rx)))
+            ctx.record(EV_ATOMIC_READ, ("ufpv", self._name, int(ry)))
         if self._ranks[py] < self._ranks[px]:
             self.pivot[rx] = py
+            if ctx is not None:
+                ctx.record(EV_ATOMIC_WRITE, ("ufpv", self._name, int(rx)))
         self._components -= 1
         return rx
 

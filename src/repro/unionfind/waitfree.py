@@ -23,7 +23,11 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.parallel.context import ThreadContext
+from repro.parallel.context import (
+    EV_ATOMIC_READ,
+    EV_ATOMIC_WRITE,
+    ThreadContext,
+)
 from repro.unionfind.pivot import FIND_CHARGE
 
 __all__ = ["SimulatedWaitFreeUnionFind"]
@@ -65,13 +69,22 @@ class SimulatedWaitFreeUnionFind:
         Seed of the deterministic failure process.
     """
 
-    __slots__ = ("parent", "pivot", "_ranks", "_failures", "cas_failures", "cas_attempts")
+    __slots__ = (
+        "parent",
+        "pivot",
+        "_ranks",
+        "_failures",
+        "cas_failures",
+        "cas_attempts",
+        "_name",
+    )
 
     def __init__(
         self,
         ranks: np.ndarray,
         failure_rate: float = 0.0,
         seed: int = 0,
+        name: str = "wfuf",
     ) -> None:
         size = int(np.asarray(ranks).size)
         self.parent = np.arange(size, dtype=np.int64)
@@ -80,6 +93,7 @@ class SimulatedWaitFreeUnionFind:
         self._failures = _DeterministicFailures(failure_rate, seed)
         self.cas_failures = 0
         self.cas_attempts = 0
+        self._name = name
 
     # ------------------------------------------------------------------
 
@@ -92,7 +106,7 @@ class SimulatedWaitFreeUnionFind:
             # Contention is keyed per exact slot: every successful link
             # targets a distinct loser-root, so two threads only queue
             # when they genuinely race for the same root.
-            ctx.atomic(("wfuf", slot))
+            ctx.atomic(("wfuf", slot), word=("ufp", self._name, int(slot)))
         if self._failures.next_fails():
             self.cas_failures += 1
             return False
@@ -107,14 +121,20 @@ class SimulatedWaitFreeUnionFind:
         Charged at a flat unit — amortized O(alpha(n)) hops.
         """
         parent = self.parent
+        split = False
         while parent[x] != x:
             grand = int(parent[int(parent[x])])
-            # path splitting: point x at its grandparent (plain write is
-            # safe in Anderson-Woll)
+            # path splitting: point x at its grandparent (an atomic
+            # store in Anderson-Woll; lost updates only delay
+            # compression, never break the structure)
             parent[x] = grand
             x = grand
+            split = True
         if ctx is not None:
             ctx.charge(FIND_CHARGE)
+            ctx.record(EV_ATOMIC_READ, ("ufp", self._name, int(x)))
+            if split:
+                ctx.record(EV_ATOMIC_WRITE, ("ufp", self._name, int(x)))
         return int(x)
 
     def union(self, x: int, y: int, ctx: ThreadContext | None = None) -> int:
@@ -130,16 +150,29 @@ class SimulatedWaitFreeUnionFind:
             if rx > ry:
                 rx, ry = ry, rx
             if self._cas_parent(ry, ry, rx, ctx):
-                # pivot re-minimization on the winning root
+                # Pivot re-minimization on the winning root: a CAS-min
+                # loop concurrently (load both pivots, CAS the better
+                # one in).  Cost rides on the link CAS already charged;
+                # the accesses are recorded as atomic events.
                 px, py = int(self.pivot[rx]), int(self.pivot[ry])
+                if ctx is not None:
+                    ctx.record(EV_ATOMIC_READ, ("ufpv", self._name, int(rx)))
+                    ctx.record(EV_ATOMIC_READ, ("ufpv", self._name, int(ry)))
                 if self._ranks[py] < self._ranks[px]:
                     self.pivot[rx] = py
+                    if ctx is not None:
+                        ctx.record(
+                            EV_ATOMIC_WRITE, ("ufpv", self._name, int(rx))
+                        )
                 return rx
             # CAS failed (injected or raced) -> retry from fresh roots
 
     def get_pivot(self, x: int, ctx: ThreadContext | None = None) -> int:
         """Pivot (lowest-rank member) of ``x``'s component."""
-        return int(self.pivot[self.find(x, ctx)])
+        root = self.find(x, ctx)
+        if ctx is not None:
+            ctx.record(EV_ATOMIC_READ, ("ufpv", self._name, int(root)))
+        return int(self.pivot[root])
 
     def same_set(self, x: int, y: int, ctx: ThreadContext | None = None) -> bool:
         """Whether ``x`` and ``y`` are connected."""

@@ -97,6 +97,74 @@ def coreness_oracle():
     return nx_coreness
 
 
+# ----------------------------------------------------------------------
+# pytest --sanitize: run the whole suite under the race detector
+# ----------------------------------------------------------------------
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--sanitize",
+        action="store_true",
+        default=False,
+        help=(
+            "attach the SimTSan race detector to every SimulatedPool "
+            "and fail any test whose parallel regions contain "
+            "unsynchronized conflicting accesses"
+        ),
+    )
+
+
+def pytest_configure(config):
+    if not config.getoption("--sanitize"):
+        return
+    from repro.sanitizer.detector import RaceDetector
+
+    detector = RaceDetector()
+    config._sanitize_detector = detector
+    original_init = SimulatedPool.__init__
+
+    def instrumented_init(self, *args, **kwargs):
+        original_init(self, *args, **kwargs)
+        self.set_observer(detector)
+
+    config._sanitize_original_init = original_init
+    SimulatedPool.__init__ = instrumented_init
+
+
+def pytest_unconfigure(config):
+    original = getattr(config, "_sanitize_original_init", None)
+    if original is not None:
+        SimulatedPool.__init__ = original
+
+
+@pytest.fixture(autouse=True)
+def _sanitize_guard(request):
+    """Fail any test that produced a new race under ``--sanitize``.
+
+    Races in regions labelled ``selftest:*`` are intentional (seeded
+    detector fixtures) and ignored.
+    """
+    detector = getattr(request.config, "_sanitize_detector", None)
+    if detector is None:
+        yield
+        return
+    from repro.sanitizer.selftest import SELFTEST_PREFIX
+
+    before = len(detector.races)
+    yield
+    fresh = [
+        race
+        for race in detector.races[before:]
+        if not race.region.startswith(SELFTEST_PREFIX)
+    ]
+    if fresh:
+        lines = "\n".join(f"  {race}" for race in fresh)
+        pytest.fail(
+            f"SimTSan: {len(fresh)} data race(s) in this test:\n{lines}",
+            pytrace=False,
+        )
+
+
 __all__ = [
     "nx_coreness",
     "complete_graph",

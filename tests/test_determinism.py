@@ -1,0 +1,99 @@
+"""Determinism regression: results are bit-identical across thread counts.
+
+The simulated substrate executes virtual threads sequentially, so every
+parallel kernel must produce *exactly* the same output no matter how
+many virtual threads the pool is configured with — the thread count may
+change the simulated clock (more parallelism, shorter span) but never
+the answer.  A divergence here means some kernel's result depends on
+the work partition, i.e. a real scheduling hazard the race detector
+models.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.phcd import phcd_build_hcd
+from repro.core.pkc import pkc_core_decomposition
+from repro.graph.generators import erdos_renyi, powerlaw_cluster
+from repro.parallel.scheduler import SimulatedPool
+from repro.search.pbks import pbks_search
+from repro.unionfind.waitfree import SimulatedWaitFreeUnionFind
+
+THREADS = (1, 2, 4, 8)
+
+
+def _graph():
+    return powerlaw_cluster(150, 3, 0.3, seed=21)
+
+
+def _hcd_snapshot(hcd):
+    return (
+        hcd.node_coreness.tolist(),
+        hcd.parent.tolist(),
+        hcd.tid.tolist(),
+    )
+
+
+@pytest.mark.parametrize("use_waitfree", [True, False])
+def test_phcd_identical_across_thread_counts(use_waitfree):
+    graph = _graph()
+    snapshots = []
+    for threads in THREADS:
+        pool = SimulatedPool(threads=threads)
+        coreness = pkc_core_decomposition(graph, pool)
+        hcd = phcd_build_hcd(
+            graph, coreness, pool, use_waitfree=use_waitfree
+        )
+        snapshots.append((coreness.tolist(), _hcd_snapshot(hcd)))
+    assert all(s == snapshots[0] for s in snapshots[1:])
+
+
+def test_pbks_identical_across_thread_counts():
+    graph = _graph()
+    picks = []
+    for threads in THREADS:
+        pool = SimulatedPool(threads=threads)
+        coreness = pkc_core_decomposition(graph, pool)
+        hcd = phcd_build_hcd(graph, coreness, pool)
+        result = pbks_search(
+            graph, coreness, hcd, "internal_density", pool
+        )
+        picks.append(
+            (
+                result.best_node,
+                result.best_k,
+                result.best_score,
+                result.scores.tolist(),
+            )
+        )
+    assert all(p == picks[0] for p in picks[1:])
+
+
+def test_waitfree_unionfind_identical_across_thread_counts():
+    graph = erdos_renyi(140, 0.05, seed=8)
+    edges = [(int(u), int(v)) for u, v in graph.edges()]
+    outcomes = []
+    for threads in THREADS:
+        pool = SimulatedPool(threads=threads)
+        uf = SimulatedWaitFreeUnionFind(
+            np.arange(140), failure_rate=0.2, seed=5
+        )
+        pool.parallel_for(
+            edges,
+            lambda e, ctx: uf.union(e[0], e[1], ctx),
+            label="det_uf_union",
+        )
+        pivots = pool.parallel_for(
+            list(range(140)),
+            lambda v, ctx: uf.get_pivot(v, ctx),
+            label="det_uf_pivot",
+        )
+        comps = pool.parallel_for(
+            list(range(140)),
+            lambda v, ctx: uf.find(v, ctx),
+            label="det_uf_find",
+        )
+        outcomes.append((list(pivots), list(comps)))
+    assert all(o == outcomes[0] for o in outcomes[1:])
