@@ -1,10 +1,10 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check test sanitize lint bench-sanitize
+.PHONY: check test sanitize lint profile bench-sanitize bench-profile
 
-## check: the CI gate — tests, worker lint, kernel race sweep
-check: test sanitize
+## check: the CI gate — tests, worker lint, kernel race sweep, profiler selftest
+check: test sanitize profile
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -19,6 +19,14 @@ sanitize:
 lint:
 	$(PYTHON) -m repro sanitize --lint
 
+## profile: SimProf zero-perturbation selftest
+profile:
+	$(PYTHON) -m repro profile --selftest
+
 ## bench-sanitize: refresh benchmarks/results/BENCH_sanitize.json
 bench-sanitize:
 	$(PYTHON) benchmarks/bench_sanitize.py
+
+## bench-profile: refresh benchmarks/results/BENCH_profile.json
+bench-profile:
+	$(PYTHON) benchmarks/bench_profile.py

@@ -19,6 +19,7 @@ from common import (
     TYPE_A_METRIC,
     TYPE_B_METRIC,
     emit,
+    emit_profile,
     paper_table,
 )
 
@@ -50,6 +51,7 @@ def test_fig10_component_speedups(lab, benchmark):
         title="Figure 10 — per-component 40-core speedup over the serial stack",
     )
     emit("fig10_components", text)
+    emit_profile("fig10_components")
     for row in rows:
         cd, hcd, sc_a, sc_b = (float(x) for x in row[1:])
         assert cd < sc_a, f"{row[0]}: CD must scale worst vs SC-A"

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from repro.analysis.stats import ascii_series
 
-from common import FIGURE_DATASETS, THREADS, emit, paper_table
+from common import FIGURE_DATASETS, THREADS, emit, emit_profile, paper_table
 
 
 def _series(lab):
@@ -34,6 +34,7 @@ def test_fig4_phcd_speedup_over_lcps(lab, benchmark):
         title="Figure 4 — PHCD's speedup to LCPS (one row per dataset)",
     )
     emit("fig4_phcd_speedup", text)
+    emit_profile("fig4_phcd_speedup")
     for row in rows:
         series = [float(x) for x in row[1:-1]]
         # serial band and scaling shape

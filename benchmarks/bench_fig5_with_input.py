@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from repro.analysis.stats import ascii_series
 
-from common import FIGURE_DATASETS, THREADS, emit, paper_table
+from common import FIGURE_DATASETS, THREADS, emit, emit_profile, paper_table
 
 
 def _series(lab):
@@ -36,6 +36,7 @@ def test_fig5_stack_speedup_with_input(lab, benchmark):
         title="Figure 5 — (PKC+PHCD) speedup to (BZ+LCPS), incl. input",
     )
     emit("fig5_with_input", text)
+    emit_profile("fig5_with_input")
     for abbr, row in zip(FIGURE_DATASETS, rows):
         with_input = [float(x) for x in row[1:-1]]
         pure = [

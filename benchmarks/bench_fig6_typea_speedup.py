@@ -15,6 +15,7 @@ from common import (
     THREADS,
     TYPE_A_METRIC,
     emit,
+    emit_profile,
     paper_table,
 )
 
@@ -42,6 +43,7 @@ def test_fig6_typea_score_speedup(lab, benchmark):
         title="Figure 6 — PBKS's speedup to BKS (type-A score computation)",
     )
     emit("fig6_typea_speedup", text)
+    emit_profile("fig6_typea_speedup", metric=TYPE_A_METRIC)
     for row in rows:
         series = [float(x) for x in row[1:-1]]
         assert series == sorted(series), f"{row[0]}: must be monotone"

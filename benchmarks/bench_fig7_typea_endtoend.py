@@ -14,6 +14,7 @@ from common import (
     THREADS,
     TYPE_A_METRIC,
     emit,
+    emit_profile,
     paper_table,
 )
 
@@ -42,6 +43,7 @@ def test_fig7_typea_endtoend_speedup(lab, benchmark):
         title="Figure 7 — (PKC+PHCD+PBKS) speedup to (BZ+LCPS+BKS), type-A",
     )
     emit("fig7_typea_endtoend", text)
+    emit_profile("fig7_typea_endtoend", metric=TYPE_A_METRIC)
     for abbr, row in zip(FIGURE_DATASETS, rows):
         series = [float(x) for x in row[1:-1]]
         score_only = lab.bks_time(abbr, TYPE_A_METRIC) / lab.pbks_time(

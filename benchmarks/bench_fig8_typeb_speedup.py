@@ -14,6 +14,7 @@ from common import (
     THREADS,
     TYPE_B_METRIC,
     emit,
+    emit_profile,
     paper_table,
 )
 
@@ -41,6 +42,7 @@ def test_fig8_typeb_score_speedup(lab, benchmark):
         title="Figure 8 — PBKS's speedup to BKS (type-B score computation)",
     )
     emit("fig8_typeb_speedup", text)
+    emit_profile("fig8_typeb_speedup", metric=TYPE_B_METRIC)
     for abbr, row in zip(FIGURE_DATASETS, rows):
         series = [float(x) for x in row[1:-1]]
         assert series[-1] == max(series), f"{abbr}: 40 threads fastest"

@@ -16,6 +16,7 @@ from common import (
     TYPE_A_METRIC,
     TYPE_B_METRIC,
     emit,
+    emit_profile,
     paper_table,
 )
 
@@ -44,6 +45,7 @@ def test_fig9_typeb_endtoend_speedup(lab, benchmark):
         title="Figure 9 — (PKC+PHCD+PBKS) speedup to (BZ+LCPS+BKS), type-B",
     )
     emit("fig9_typeb_endtoend", text)
+    emit_profile("fig9_typeb_endtoend", metric=TYPE_B_METRIC)
     for abbr, row in zip(FIGURE_DATASETS, rows):
         end_b = float(row[-2])
         score_b = lab.bks_time(abbr, TYPE_B_METRIC) / lab.pbks_time(

@@ -1,0 +1,147 @@
+"""SimProf overhead gate — starts the ``BENCH_profile.json`` trajectory.
+
+Runs every registered sanitize kernel twice — once on a bare pool,
+once under the SimProf span tracer — and records, per kernel:
+
+* the **simulated clock** both ways.  The tracer is strictly
+  read-only (it only snapshots ``RegionStats`` and context counters),
+  so the delta must be exactly ``0.0``; the bench asserts it, and the
+  JSON keeps both numbers so a future PR that accidentally couples
+  tracing to the cost model shows up as a nonzero ``sim_delta``.
+* the **span coverage**: the sum of traced region spans must equal
+  the pool clock bitwise — the invariant every exporter relies on.
+* the **wall-clock** time both ways — the real price of building the
+  span tree and the contention attribution maps.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_profile.py
+
+Writes ``benchmarks/results/BENCH_profile.json`` and prints a table.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from common import emit, paper_table, results_dir  # noqa: E402
+from repro.parallel.scheduler import SimulatedPool  # noqa: E402
+from repro.profiler import SpanTracer  # noqa: E402
+from repro.sanitizer import KERNELS  # noqa: E402
+
+THREADS = 4
+REPEATS = 3
+
+
+def _measure(body, traced: bool) -> tuple[float, float, int, bool]:
+    """Return (sim clock, best wall seconds, regions, coverage_exact)."""
+    best = float("inf")
+    clock = 0.0
+    regions = 0
+    coverage = True
+    for _ in range(REPEATS):
+        pool = SimulatedPool(threads=THREADS)
+        tracer = SpanTracer() if traced else None
+        begin = time.perf_counter()
+        if tracer is not None:
+            with tracer.watch(pool):
+                body(pool)
+        else:
+            body(pool)
+        best = min(best, time.perf_counter() - begin)
+        clock = pool.clock
+        if tracer is not None:
+            regions = len(tracer.region_spans())
+            coverage = tracer.total_elapsed() == pool.clock
+    return clock, best, regions, coverage
+
+
+def run() -> dict:
+    records = []
+    for name, body in KERNELS.items():
+        sim_off, wall_off, _, _ = _measure(body, traced=False)
+        sim_on, wall_on, regions, coverage = _measure(body, traced=True)
+        sim_delta = sim_on - sim_off
+        assert sim_delta == 0.0, (
+            f"{name}: tracer changed the simulated clock by {sim_delta}"
+            " — SimProf must stay read-only"
+        )
+        assert coverage, (
+            f"{name}: traced spans do not sum to the pool clock"
+        )
+        records.append(
+            {
+                "kernel": name,
+                "sim_clock_off": sim_off,
+                "sim_clock_on": sim_on,
+                "sim_delta": sim_delta,
+                "regions": regions,
+                "coverage_exact": coverage,
+                "wall_off_s": wall_off,
+                "wall_on_s": wall_on,
+                "wall_overhead": (
+                    wall_on / wall_off if wall_off > 0 else float("nan")
+                ),
+            }
+        )
+    return {
+        "bench": "profile_overhead",
+        "threads": THREADS,
+        "repeats": REPEATS,
+        "kernels": records,
+    }
+
+
+def main() -> int:
+    payload = run()
+    out = results_dir() / "BENCH_profile.json"
+    out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    rows = [
+        [
+            r["kernel"],
+            f"{r['sim_clock_off']:.0f}",
+            f"{r['sim_delta']:.0f}",
+            str(r["regions"]),
+            "yes" if r["coverage_exact"] else "NO",
+            f"{r['wall_off_s'] * 1e3:.1f}",
+            f"{r['wall_on_s'] * 1e3:.1f}",
+            f"{r['wall_overhead']:.2f}x",
+        ]
+        for r in payload["kernels"]
+    ]
+    emit(
+        "bench_profile",
+        paper_table(
+            [
+                "kernel",
+                "sim clock",
+                "sim delta",
+                "spans",
+                "exact",
+                "wall off (ms)",
+                "wall on (ms)",
+                "overhead",
+            ],
+            rows,
+            title="SimProf tracer overhead"
+            f" ({THREADS} virtual threads, best of {REPEATS})",
+        ),
+    )
+    print(f"wrote {out}")
+    return 0
+
+
+def test_bench_profile_overhead():
+    """Pytest entry: the tracer never perturbs the simulated clock."""
+    payload = run()
+    assert all(r["sim_delta"] == 0.0 for r in payload["kernels"])
+    assert all(r["coverage_exact"] for r in payload["kernels"])
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,6 +9,7 @@ Subcommands
 ``report``     full analysis report (profile, hierarchy, best cores)
 ``datasets``   list the built-in dataset stand-ins
 ``sanitize``   SimTSan: race-check parallel kernels / lint worker closures
+``profile``    SimProf: span-trace a run, flame summary + trace exports
 
 Graphs come either from an edge-list file (``--input``) or a built-in
 stand-in (``--dataset AS|LJ|...``).
@@ -134,6 +135,54 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=4,
         help="virtual threads for kernel runs (default 4)",
+    )
+
+    p_prof = sub.add_parser(
+        "profile",
+        help="SimProf span tracing: flame summary + Chrome trace export",
+        description=(
+            "Run the end-to-end pipeline under the SimProf span tracer "
+            "and print a terminal flame summary with per-phase cost "
+            "decomposition.  With --out, also write profile.json and a "
+            "Chrome trace_event JSON (chrome://tracing / Perfetto).  "
+            "With --selftest, verify instead that attaching the tracer "
+            "perturbs the simulated clock of every registered kernel "
+            "by exactly zero."
+        ),
+    )
+    source = p_prof.add_mutually_exclusive_group()
+    source.add_argument("--input", help="edge-list file (u v per line)")
+    source.add_argument(
+        "--dataset",
+        help="built-in stand-in name or abbreviation (default AS)",
+    )
+    p_prof.add_argument(
+        "--threads",
+        type=int,
+        default=4,
+        help="simulated thread count (default 4)",
+    )
+    p_prof.add_argument(
+        "--metric",
+        default="average_degree",
+        choices=metric_names(),
+        help="community metric for the search stage",
+    )
+    p_prof.add_argument(
+        "--out",
+        metavar="DIR",
+        help="write profile.json + trace.json under DIR",
+    )
+    p_prof.add_argument(
+        "--top",
+        type=int,
+        default=8,
+        help="hottest contended cache lines to report per phase",
+    )
+    p_prof.add_argument(
+        "--selftest",
+        action="store_true",
+        help="verify the zero-perturbation guarantee on every kernel",
     )
     return parser
 
@@ -294,6 +343,65 @@ def _cmd_sanitize(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.profiler import (
+        SpanTracer,
+        flame_summary,
+        profile_report,
+        selftest,
+        write_artifacts,
+    )
+
+    if args.threads < 1:
+        print(
+            f"--threads must be >= 1, got {args.threads}", file=sys.stderr
+        )
+        return 2
+
+    if args.selftest:
+        print("== SimProf selftest (zero-perturbation guarantee) ==")
+        ok, message = selftest(threads=max(args.threads, 2))
+        print(f"  {message}")
+        print("== OK ==" if ok else "== FAILED ==")
+        return 0 if ok else 1
+
+    if args.input:
+        graph = read_edge_list(args.input, relabel=True)
+        source = args.input
+    else:
+        name = args.dataset or "AS"
+        graph = load(name).graph
+        source = name
+
+    pool = SimulatedPool(threads=args.threads)
+    tracer = SpanTracer()
+    tracer.attach(pool)
+    result, deco = search_best_core(
+        graph, args.metric, pool=pool, parallel=True
+    )
+    tracer.detach()
+
+    # the invariant the exports rely on: span coverage is exact
+    if tracer.total_elapsed() != pool.clock:
+        print(
+            "profile does not cover the clock: "
+            f"{tracer.total_elapsed()!r} != {pool.clock!r}",
+            file=sys.stderr,
+        )
+        return 1
+
+    report = profile_report(tracer, pool, top=args.top)
+    print(f"graph      : {source} (n={graph.num_vertices}, m={graph.num_edges})")
+    print(f"metric     : {args.metric}  best k={result.best_k}")
+    print()
+    print(flame_summary(report))
+    if args.out:
+        paths = write_artifacts(tracer, pool, args.out)
+        for kind, path in paths.items():
+            print(f"wrote {kind:8s} {path}")
+    return 0
+
+
 def _cmd_datasets(_: argparse.Namespace) -> int:
     print(f"{'name':16}{'abbrev':8}description")
     for name in dataset_names():
@@ -310,6 +418,7 @@ _COMMANDS = {
     "bestk": _cmd_bestk,
     "datasets": _cmd_datasets,
     "sanitize": _cmd_sanitize,
+    "profile": _cmd_profile,
 }
 
 

@@ -110,81 +110,99 @@ def phcd_build_hcd(
         shell = shells[k]
         if shell.size == 0:
             continue
-        shell_list = [int(v) for v in shell]
-        kpc_pivot = AtomicSet(name=f"kpc_pivot_k{k}")
-
-        # --- Step 1: pivots of components the shell will absorb -------
-        def collect_child_pivots(v: int, ctx) -> None:
-            ctx.charge(1)
-            for u in indices[indptr[v] : indptr[v + 1]]:
-                u = int(u)
-                ctx.charge(SCAN_CHARGE)
-                if coreness[u] > k:
-                    pvt = uf.get_pivot(u, ctx)
-                    kpc_pivot.add_if_absent(ctx, pvt)
-
-        pool.parallel_for(
-            shell_list,
-            collect_child_pivots,
-            label=f"phcd:step1_k{k}",
-        )
-
-        # --- Step 2: union shell into the growing graph ---------------
-        def connect(v: int, ctx) -> None:
-            ctx.charge(1)
-            for u in indices[indptr[v] : indptr[v + 1]]:
-                u = int(u)
-                ctx.charge(SCAN_CHARGE)
-                if coreness[u] >= k:
-                    uf.union(v, u, ctx)
-
-        pool.parallel_for(
-            shell_list,
-            connect,
-            label=f"phcd:step2_k{k}",
-        )
-
-        # --- Step 3: one tree node per distinct pivot ------------------
-        def group_by_pivot(v: int, ctx) -> None:
-            pvt = uf.get_pivot(v, ctx)
-            node = int(tid_arr.load(ctx, pvt))
-            if node < 0:
-                # Two threads holding vertices of one component race to
-                # create its node: allocate, then publish via CAS — the
-                # loser re-reads the winner's node.  (On the sequential
-                # substrate the CAS never loses; a real backend would
-                # also retire the orphaned allocation.)
-                fresh = builder.new_node(k)
-                ctx.atomic(("hcd_nodes",), contended=False)
-                if tid_arr.compare_and_swap(ctx, pvt, -1, fresh):
-                    node = fresh
-                else:
-                    node = int(tid_arr.load(ctx, pvt))
-            if v != pvt:
-                # each shell vertex owns its own tid slot this round
-                ctx.write(("tid", int(v)), 0.0)
-                tid[v] = node
-            # member append: relaxed fetch-add on the node's tail
-            ctx.atomic(("node_members", node), contended=False)
-            builder.add_member(node, v)
-
-        pool.parallel_for(
-            shell_list,
-            group_by_pivot,
-            label=f"phcd:step3_k{k}",
-        )
-
-        # --- Step 4: attach child tree nodes under the new nodes -------
-        def attach_parent(old_pivot: int, ctx) -> None:
-            pvt = uf.get_pivot(old_pivot, ctx)
-            child = int(tid_arr.load(ctx, old_pivot))
-            parent = int(tid_arr.load(ctx, pvt))
-            # distinct old pivots map to distinct child nodes
-            ctx.write(("hcd_parent", child), 0.0)
-            builder.set_parent(child, parent)
-
-        pool.parallel_for(
-            list(kpc_pivot), attach_parent, label=f"phcd:step4_k{k}"
-        )
+        with pool.phase(f"phcd:level-{k}"):
+            _phcd_level(
+                pool, k, shell, builder, uf, tid, tid_arr,
+                kpc_pivot=AtomicSet(name=f"kpc_pivot_k{k}"),
+                coreness=coreness, indptr=indptr, indices=indices,
+            )
 
     return builder.build()
+
+
+def _phcd_level(
+    pool, k, shell, builder, uf, tid, tid_arr, kpc_pivot,
+    coreness, indptr, indices,
+) -> None:
+    """One round of Algorithm 2: the four parallel steps over a shell.
+
+    Factored out of :func:`phcd_build_hcd` so each round runs under a
+    SimProf ``phcd:level-k`` phase annotation (attribution only — the
+    phase context manager never charges the clock).
+    """
+    shell_list = [int(v) for v in shell]
+
+    # --- Step 1: pivots of components the shell will absorb -------
+    def collect_child_pivots(v: int, ctx) -> None:
+        ctx.charge(1)
+        for u in indices[indptr[v] : indptr[v + 1]]:
+            u = int(u)
+            ctx.charge(SCAN_CHARGE)
+            if coreness[u] > k:
+                pvt = uf.get_pivot(u, ctx)
+                kpc_pivot.add_if_absent(ctx, pvt)
+
+    pool.parallel_for(
+        shell_list,
+        collect_child_pivots,
+        label=f"phcd:step1_k{k}",
+    )
+
+    # --- Step 2: union shell into the growing graph ---------------
+    def connect(v: int, ctx) -> None:
+        ctx.charge(1)
+        for u in indices[indptr[v] : indptr[v + 1]]:
+            u = int(u)
+            ctx.charge(SCAN_CHARGE)
+            if coreness[u] >= k:
+                uf.union(v, u, ctx)
+
+    pool.parallel_for(
+        shell_list,
+        connect,
+        label=f"phcd:step2_k{k}",
+    )
+
+    # --- Step 3: one tree node per distinct pivot ------------------
+    def group_by_pivot(v: int, ctx) -> None:
+        pvt = uf.get_pivot(v, ctx)
+        node = int(tid_arr.load(ctx, pvt))
+        if node < 0:
+            # Two threads holding vertices of one component race to
+            # create its node: allocate, then publish via CAS — the
+            # loser re-reads the winner's node.  (On the sequential
+            # substrate the CAS never loses; a real backend would
+            # also retire the orphaned allocation.)
+            fresh = builder.new_node(k)
+            ctx.atomic(("hcd_nodes",), contended=False)
+            if tid_arr.compare_and_swap(ctx, pvt, -1, fresh):
+                node = fresh
+            else:
+                node = int(tid_arr.load(ctx, pvt))
+        if v != pvt:
+            # each shell vertex owns its own tid slot this round
+            ctx.write(("tid", int(v)), 0.0)
+            tid[v] = node
+        # member append: relaxed fetch-add on the node's tail
+        ctx.atomic(("node_members", node), contended=False)
+        builder.add_member(node, v)
+
+    pool.parallel_for(
+        shell_list,
+        group_by_pivot,
+        label=f"phcd:step3_k{k}",
+    )
+
+    # --- Step 4: attach child tree nodes under the new nodes -------
+    def attach_parent(old_pivot: int, ctx) -> None:
+        pvt = uf.get_pivot(old_pivot, ctx)
+        child = int(tid_arr.load(ctx, old_pivot))
+        parent = int(tid_arr.load(ctx, pvt))
+        # distinct old pivots map to distinct child nodes
+        ctx.write(("hcd_parent", child), 0.0)
+        builder.set_parent(child, parent)
+
+    pool.parallel_for(
+        list(kpc_pivot), attach_parent, label=f"phcd:step4_k{k}"
+    )
+

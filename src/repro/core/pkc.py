@@ -38,50 +38,52 @@ def pkc_core_decomposition(graph: Graph, pool: SimulatedPool) -> np.ndarray:
     remaining = n
     k = 0
     while remaining > 0:
-        # Scan for the level-k seed frontier among undecided vertices.
-        def scan(v: int, ctx) -> int:
-            # charged atomic load (earlier peel rounds decremented it)
-            if degree.load(ctx, v) <= k:
-                return v
-            return -1
+        # SimProf attribution: one phase per peeled level (free).
+        with pool.phase(f"pkc:level-{k}"):
+            # Scan for the level-k seed frontier among undecided vertices.
+            def scan(v: int, ctx) -> int:
+                # charged atomic load (earlier peel rounds decremented it)
+                if degree.load(ctx, v) <= k:
+                    return v
+                return -1
 
-        undecided = np.flatnonzero(~settled)
-        hits = pool.parallel_for(
-            [int(v) for v in undecided], scan, label=f"pkc:scan_k{k}"
-        )
-        frontier = [v for v in hits if v >= 0]
-        while frontier:
-            for v in frontier:
-                settled[v] = True
-            next_parts: list[list[int]] = [[] for _ in range(pool.threads)]
+            undecided = np.flatnonzero(~settled)
+            hits = pool.parallel_for(
+                [int(v) for v in undecided], scan, label=f"pkc:scan_k{k}"
+            )
+            frontier = [v for v in hits if v >= 0]
+            while frontier:
+                for v in frontier:
+                    settled[v] = True
+                next_parts: list[list[int]] = [[] for _ in range(pool.threads)]
 
-            def process(v: int, ctx) -> None:
-                # each frontier vertex owns its coreness slot
-                ctx.write(("pkc_core", int(v)))
-                coreness[v] = k
-                for u in indices[indptr[v] : indptr[v + 1]]:
-                    u = int(u)
-                    ctx.charge(1)
-                    if settled[u]:
-                        continue
-                    # branch on the fetch-add result, never on a raw
-                    # re-read of the slot: concurrent decrements would
-                    # make the re-read miss (or duplicate) the handoff
-                    old = degree.add(ctx, u, -1)
-                    if old - 1 == k:
-                        # local buffer append: PKC's low-sync design
+                def process(v: int, ctx) -> None:
+                    # each frontier vertex owns its coreness slot
+                    ctx.write(("pkc_core", int(v)))
+                    coreness[v] = k
+                    for u in indices[indptr[v] : indptr[v + 1]]:
+                        u = int(u)
                         ctx.charge(1)
-                        next_parts[ctx.thread_id].append(u)
+                        if settled[u]:
+                            continue
+                        # branch on the fetch-add result, never on a raw
+                        # re-read of the slot: concurrent decrements would
+                        # make the re-read miss (or duplicate) the handoff
+                        old = degree.add(ctx, u, -1)
+                        if old - 1 == k:
+                            # local buffer append: PKC's low-sync design
+                            ctx.charge(1)
+                            next_parts[ctx.thread_id].append(u)
 
-            pool.parallel_for(frontier, process, label=f"pkc:peel_k{k}")
-            remaining -= len(frontier)
-            merged: list[int] = []
-            seen: set[int] = set()
-            for part in next_parts:
-                for u in part:
-                    if not settled[u] and u not in seen:
-                        seen.add(u)
-                        merged.append(u)
-            frontier = merged
+                pool.parallel_for(frontier, process, label=f"pkc:peel_k{k}")
+                remaining -= len(frontier)
+                merged: list[int] = []
+                seen: set[int] = set()
+                for part in next_parts:
+                    for u in part:
+                        if not settled[u] and u not in seen:
+                            seen.add(u)
+                            merged.append(u)
+                frontier = merged
         k += 1
     return coreness

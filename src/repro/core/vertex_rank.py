@@ -76,7 +76,8 @@ def compute_vertex_rank(
         ctx.atomic(("HL", ctx.thread_id, int(coreness[v])), contended=False)
         bins[ctx.thread_id][int(coreness[v])].append(v)
 
-    pool.parallel_for(range(n), bin_vertex, label="vertex_rank:bin")
+    with pool.phase("vertex-rank"):
+        pool.parallel_for(range(n), bin_vertex, label="vertex_rank:bin")
 
     # Lines 7-8: H_k is the concatenation HL[1][k] + ... + HL[p][k].
     def concat_shell(k: int, ctx) -> np.ndarray:
@@ -87,9 +88,10 @@ def compute_vertex_rank(
             return np.empty(0, dtype=np.int64)
         return np.concatenate([np.asarray(part, dtype=np.int64) for part in parts if part])
 
-    shells = pool.parallel_for(
-        range(kmax + 1), concat_shell, label="vertex_rank:shells"
-    )
+    with pool.phase("vertex-rank"):
+        shells = pool.parallel_for(
+            range(kmax + 1), concat_shell, label="vertex_rank:shells"
+        )
 
     # Line 9: Vsort = H_0 + H_1 + ... + H_kmax.
     vsort = (
@@ -108,5 +110,6 @@ def compute_vertex_rank(
         ctx.write(("rank", int(vsort[i])))
         rank[vsort[i]] = i  # sani: ok - permutation scatter, recorded above
 
-    pool.parallel_for(range(n), assign_rank, label="vertex_rank:rank")
+    with pool.phase("vertex-rank"):
+        pool.parallel_for(range(n), assign_rank, label="vertex_rank:rank")
     return VertexRankResult(rank=rank, shells=shells, vsort=vsort)

@@ -86,27 +86,40 @@ def write_edge_list(graph: Graph, path: str | os.PathLike[str]) -> None:
 
 
 def read_metis(path: str | os.PathLike[str]) -> Graph:
-    """Read a METIS-style adjacency file (1-indexed)."""
+    """Read a METIS-style adjacency file (1-indexed).
+
+    Comment lines are skipped, but *blank* lines are kept: a blank
+    adjacency line is a degree-0 vertex (exactly what
+    :func:`write_metis` emits for one), so stripping blanks would
+    lose isolated vertices and shift every adjacency row after them.
+    """
     with open(path, "r", encoding="utf-8") as handle:
         lines = [
             line.strip()
             for line in handle
-            if line.strip() and not line.strip().startswith(_COMMENT_PREFIXES)
+            if not line.strip().startswith(_COMMENT_PREFIXES)
         ]
+    # blanks before the header carry no meaning; adjacency blanks do
+    while lines and not lines[0]:
+        lines.pop(0)
     if not lines:
         raise GraphFormatError("empty METIS file")
     header = lines[0].split()
     if len(header) < 2:
         raise GraphFormatError(f"bad METIS header: {lines[0]!r}")
     n, m = int(header[0]), int(header[1])
-    if len(lines) - 1 != n:
+    adjacency = lines[1:]
+    # tolerate trailing blank lines beyond the declared vertex count
+    while len(adjacency) > n and not adjacency[-1]:
+        adjacency.pop()
+    if len(adjacency) != n:
         raise GraphFormatError(
-            f"METIS header declares {n} vertices, file has {len(lines) - 1} adjacency lines"
+            f"METIS header declares {n} vertices, file has {len(adjacency)} adjacency lines"
         )
     builder = GraphBuilder()
     for v in range(n):
         builder.add_vertex(v)
-    for v, line in enumerate(lines[1:]):
+    for v, line in enumerate(adjacency):
         for token in line.split():
             u = int(token) - 1
             if u < 0 or u >= n:

@@ -152,6 +152,7 @@ def nucleus_decomposition(
                     support[other] -= 1
                     buckets[int(support[other])].append(other)
     if pool is not None:
-        with pool.serial_region("nucleus_decomposition") as ctx:
-            ctx.charge(charged)
+        with pool.phase("nucleus:peel"):
+            with pool.serial_region("nucleus_decomposition") as ctx:
+                ctx.charge(charged)
     return theta

@@ -45,6 +45,7 @@ class RegionStats:
         "atomic_ops",
         "contention_penalty",
         "elapsed",
+        "kind",
     )
 
     def __init__(
@@ -57,6 +58,7 @@ class RegionStats:
         atomic_ops: int,
         contention_penalty: float,
         elapsed: float,
+        kind: str = "parallel",
     ) -> None:
         self.label = label
         self.threads = threads
@@ -66,6 +68,7 @@ class RegionStats:
         self.atomic_ops = atomic_ops
         self.contention_penalty = contention_penalty
         self.elapsed = elapsed
+        self.kind = kind
 
     def __repr__(self) -> str:
         return (
@@ -99,6 +102,7 @@ class SimulatedPool:
         self._regions: list[RegionStats] = []
         self._in_region = False
         self._observer: object | None = None
+        self._phase_stack: list[str] = []
 
     # ------------------------------------------------------------------
     # observation (race detection / tracing)
@@ -122,6 +126,51 @@ class SimulatedPool:
         return self._observer
 
     # ------------------------------------------------------------------
+    # phases (profiling attribution)
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Group subsequent regions under a named algorithm phase.
+
+        Phases are *attribution only*: they never charge the clock.
+        Kernels annotate their rounds (``phcd:level-3``, ``pbks:score``)
+        so that a profiling observer (SimProf's
+        :class:`~repro.profiler.tracer.SpanTracer`) can nest region
+        records under algorithm structure.  Phases nest; regions opened
+        inside run under the innermost phase.  With no observer
+        attached the body costs one list append/pop.
+
+        An observer providing ``on_phase_begin(name)`` /
+        ``on_phase_end(name)`` is notified at the boundaries; observers
+        without those hooks (e.g. the race detector) are unaffected.
+        """
+        if self._in_region:
+            raise SchedulerError("cannot open a phase inside a region")
+        self._phase_stack.append(str(name))
+        observer = self._observer
+        if observer is not None:
+            hook = getattr(observer, "on_phase_begin", None)
+            if hook is not None:
+                hook(name)
+        try:
+            yield
+        finally:
+            # reset() inside the block clears the stack; don't over-pop
+            if self._phase_stack:
+                self._phase_stack.pop()
+            observer = self._observer
+            if observer is not None:
+                hook = getattr(observer, "on_phase_end", None)
+                if hook is not None:
+                    hook(name)
+
+    @property
+    def phase_stack(self) -> tuple[str, ...]:
+        """The currently open phases, outermost first."""
+        return tuple(self._phase_stack)
+
+    # ------------------------------------------------------------------
     # clock
     # ------------------------------------------------------------------
 
@@ -135,10 +184,29 @@ class SimulatedPool:
         """Accounting records of every completed region, in order."""
         return list(self._regions)
 
-    def reset(self) -> None:
-        """Zero the clock and drop region records."""
+    @property
+    def last_region(self) -> RegionStats | None:
+        """The most recently completed region's record, or ``None``."""
+        return self._regions[-1] if self._regions else None
+
+    def reset(self, detach_observer: bool = True) -> None:
+        """Restore the pool to construction state.
+
+        Zeroes the clock, drops region records, clears any open phase
+        stack, and — by default — detaches the region observer, so a
+        reused pool cannot silently keep stale tracer/sanitizer state
+        (an observer attached before ``reset()`` would otherwise keep
+        receiving events and mixing runs).  Pass
+        ``detach_observer=False`` to deliberately keep an observer
+        across runs, e.g. to accumulate race reports over several
+        workloads.
+        """
         self._clock = 0.0
         self._regions = []
+        self._in_region = False
+        self._phase_stack = []
+        if detach_observer:
+            self._observer = None
 
     def mark(self) -> float:
         """Current clock value, for phase timing via subtraction."""
@@ -299,8 +367,8 @@ class SimulatedPool:
             yield ctx
         finally:
             self._in_region = False
-        if observer is not None:
-            observer.on_region_end(label, [ctx])
+        # close accounting first so observers see the finished record
+        # (the documented on_region_end contract, same as parallel_for)
         self._clock += ctx.local_time
         self._regions.append(
             RegionStats(
@@ -312,8 +380,11 @@ class SimulatedPool:
                 atomic_ops=ctx.atomic_ops,
                 contention_penalty=0.0,
                 elapsed=ctx.local_time,
+                kind="serial",
             )
         )
+        if observer is not None:
+            observer.on_region_end(label, [ctx])
 
     def __repr__(self) -> str:
         return f"SimulatedPool(threads={self.threads}, clock={self._clock:.0f})"

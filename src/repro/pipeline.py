@@ -56,6 +56,7 @@ def decompose(
     threads: int = 1,
     cost_model: CostModel | None = None,
     parallel: bool | None = None,
+    pool: SimulatedPool | None = None,
 ) -> DecompositionResult:
     """Coreness + HCD of ``graph`` with per-phase timings.
 
@@ -64,23 +65,34 @@ def decompose(
     (Batagelj-Zaversnik + LCPS) when ``threads == 1``.  Pass
     ``parallel=True`` to run the parallel algorithms on one thread
     (the paper's PHCD(1) serial-performance comparison).
+
+    Pass ``pool`` to supply a pre-built pool — e.g. one with a SimProf
+    tracer or SimTSan observer already attached; ``threads`` and
+    ``cost_model`` are then ignored in favor of the pool's own.
     """
-    pool = SimulatedPool(threads=threads, cost_model=cost_model)
+    if pool is None:
+        pool = SimulatedPool(threads=threads, cost_model=cost_model)
+    else:
+        threads = pool.threads
     if parallel is None:
         parallel = threads > 1
     mark = pool.mark()
-    if parallel:
-        coreness = pkc_core_decomposition(graph, pool)
-    else:
-        coreness = core_decomposition(graph, pool)
+    with pool.phase("core-decomposition"):
+        if parallel:
+            coreness = pkc_core_decomposition(graph, pool)
+        else:
+            coreness = core_decomposition(graph, pool)
     cd_time = pool.elapsed_since(mark)
 
     mark = pool.mark()
-    rank_result = compute_vertex_rank(graph, coreness, pool)
-    if parallel:
-        hcd = phcd_build_hcd(graph, coreness, pool, rank_result=rank_result)
-    else:
-        hcd = lcps_build_hcd(graph, coreness, pool)
+    with pool.phase("hcd"):
+        rank_result = compute_vertex_rank(graph, coreness, pool)
+        if parallel:
+            hcd = phcd_build_hcd(
+                graph, coreness, pool, rank_result=rank_result
+            )
+        else:
+            hcd = lcps_build_hcd(graph, coreness, pool)
     hcd_time = pool.elapsed_since(mark)
 
     return DecompositionResult(
@@ -99,34 +111,44 @@ def search_best_core(
     threads: int = 1,
     cost_model: CostModel | None = None,
     parallel: bool | None = None,
+    pool: SimulatedPool | None = None,
 ) -> tuple[SearchResult, DecompositionResult]:
     """End-to-end best-k-core search from a raw graph.
 
     Runs :func:`decompose`, then the matching search engine (PBKS on
     the parallel stack, BKS on the serial stack).  The search phase's
     simulated time is added to the decomposition's ``phase_times``
-    under ``'search'`` (and ``'preprocessing'``).
+    under ``'search'`` (and ``'preprocessing'``).  ``pool`` behaves as
+    in :func:`decompose`.
     """
     deco = decompose(
-        graph, threads=threads, cost_model=cost_model, parallel=parallel
+        graph,
+        threads=threads,
+        cost_model=cost_model,
+        parallel=parallel,
+        pool=pool,
     )
     pool = deco.pool
+    threads = pool.threads
     use_parallel = parallel if parallel is not None else threads > 1
     mark = pool.mark()
     if use_parallel:
-        counts = preprocess_neighbor_counts(graph, deco.coreness, pool)
+        with pool.phase("preprocessing"):
+            counts = preprocess_neighbor_counts(graph, deco.coreness, pool)
         deco.phase_times["preprocessing"] = pool.elapsed_since(mark)
         mark = pool.mark()
-        result = pbks_search(
-            graph,
-            deco.coreness,
-            deco.hcd,
-            metric,
-            pool,
-            counts=counts,
-            rank_result=deco.rank_result,
-        )
+        with pool.phase("search"):
+            result = pbks_search(
+                graph,
+                deco.coreness,
+                deco.hcd,
+                metric,
+                pool,
+                counts=counts,
+                rank_result=deco.rank_result,
+            )
     else:
-        result = bks_search(graph, deco.coreness, deco.hcd, metric, pool)
+        with pool.phase("search"):
+            result = bks_search(graph, deco.coreness, deco.hcd, metric, pool)
     deco.phase_times["search"] = pool.elapsed_since(mark)
     return result, deco

@@ -1,0 +1,37 @@
+"""SimProf: zero-perturbation span tracing for the simulated substrate.
+
+An observability layer riding the same pool-observer hooks SimTSan
+uses (see :mod:`repro.sanitizer`):
+
+* :mod:`repro.profiler.tracer` — :class:`SpanTracer`, a read-only
+  region observer nesting region records under the algorithm phases
+  kernels annotate via ``pool.phase(...)``, with per-span cost
+  decomposition (work / spawn / barrier / contention), per-thread
+  work histograms, and per-cache-line contention attribution;
+* :mod:`repro.profiler.export` — Chrome ``trace_event`` JSON
+  (``chrome://tracing`` / Perfetto) and artifact bundling;
+* :mod:`repro.profiler.report` — the aggregated ``profile.json`` and
+  a terminal flame summary;
+* :mod:`repro.profiler.selftest` — the zero-perturbation gate:
+  attaching the tracer changes ``pool.clock`` by exactly ``0.0``.
+
+Entry points: ``repro profile`` (CLI), ``REPRO_PROFILE=1`` for the
+benchmark harnesses, :func:`selftest` (programmatic gate).
+"""
+
+from repro.profiler.export import chrome_trace, write_artifacts
+from repro.profiler.report import flame_summary, phase_table, profile_report
+from repro.profiler.selftest import check_kernel, selftest
+from repro.profiler.tracer import Span, SpanTracer
+
+__all__ = [
+    "Span",
+    "SpanTracer",
+    "chrome_trace",
+    "write_artifacts",
+    "profile_report",
+    "phase_table",
+    "flame_summary",
+    "check_kernel",
+    "selftest",
+]

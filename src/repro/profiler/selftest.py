@@ -1,0 +1,73 @@
+"""SimProf selftest — the zero-perturbation and coverage gate.
+
+For every kernel in the sanitizer's workload registry
+(:data:`repro.sanitizer.kernels.KERNELS` — the same bodies the race
+detector sweeps), the selftest runs the kernel twice on fresh pools,
+bare and under a :class:`~repro.profiler.tracer.SpanTracer`, and
+checks:
+
+1. **zero perturbation** — the simulated clocks are *exactly* equal
+   (``delta == 0.0``, no tolerance): the tracer reads scheduler state
+   but never charges it;
+2. **exact coverage** — the sum of traced region-span elapsed values
+   is bitwise equal to the traced pool's clock: every region was
+   observed and none was double-counted;
+3. **exporters serialize** — the Chrome trace and the profile report
+   both round-trip through :func:`json.dumps`.
+
+Exposed as ``repro profile --selftest``; ``make check`` and CI run it.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.parallel.scheduler import SimulatedPool
+from repro.profiler.export import chrome_trace
+from repro.profiler.report import profile_report
+from repro.profiler.tracer import SpanTracer
+
+__all__ = ["selftest", "check_kernel"]
+
+
+def check_kernel(body, threads: int = 4) -> tuple[SpanTracer, SimulatedPool]:
+    """Run ``body(pool)`` bare and traced; raise on any gate failure."""
+    bare = SimulatedPool(threads=threads)
+    body(bare)
+    traced = SimulatedPool(threads=threads)
+    tracer = SpanTracer()
+    with tracer.watch(traced):
+        body(traced)
+    delta = traced.clock - bare.clock
+    if delta != 0.0:
+        raise AssertionError(
+            f"tracer perturbed the simulated clock by {delta!r} "
+            f"({bare.clock!r} bare vs {traced.clock!r} traced)"
+        )
+    covered = tracer.total_elapsed()
+    if covered != traced.clock:
+        raise AssertionError(
+            f"span coverage {covered!r} != pool clock {traced.clock!r}"
+        )
+    json.dumps(chrome_trace(tracer, traced))
+    json.dumps(profile_report(tracer, traced))
+    return tracer, traced
+
+
+def selftest(threads: int = 4) -> tuple[bool, str]:
+    """Gate every registered kernel; returns ``(ok, message)``."""
+    from repro.sanitizer.kernels import KERNELS
+
+    checked = 0
+    regions = 0
+    for name, body in KERNELS.items():
+        try:
+            tracer, _pool = check_kernel(body, threads=threads)
+        except AssertionError as exc:
+            return False, f"kernel {name!r}: {exc}"
+        checked += 1
+        regions += len(tracer.region_spans())
+    return True, (
+        f"{checked} kernels traced ({regions} regions): clock delta 0.0, "
+        "span coverage exact, exporters serialize"
+    )

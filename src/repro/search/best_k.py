@@ -25,6 +25,7 @@ from repro.search.preprocessing import (
     preprocess_neighbor_counts,
 )
 from repro.search.primary_values import GraphTotals, PrimaryValues
+from repro.search.result import best_finite_index
 
 __all__ = ["BestKResult", "find_best_k"]
 
@@ -150,7 +151,15 @@ def find_best_k(
         )
 
     pool.parallel_for(range(kmax + 1), score_level, label="bestk:score")
-    best = int(np.argmax(scores))
+    best = best_finite_index(scores)
+    if best < 0:
+        return BestKResult(
+            metric_name=metric.name,
+            best_k=-1,
+            best_score=float("-inf"),
+            scores=scores,
+            values=values,
+        )
     return BestKResult(
         metric_name=metric.name,
         best_k=best,

@@ -29,7 +29,7 @@ from repro.graph.graph import Graph
 from repro.parallel.scheduler import SimulatedPool
 from repro.search.metrics import Metric, get_metric
 from repro.search.primary_values import GraphTotals, PrimaryValues
-from repro.search.result import SearchResult
+from repro.search.result import SearchResult, best_finite_index
 
 __all__ = ["bks_search", "build_coreness_sorted_adjacency"]
 
@@ -143,7 +143,17 @@ def bks_search(
             with pool.serial_region(f"bks:level_{k}") as ctx:
                 ctx.charge(charged)
 
-    best = int(np.argmax(scores))
+    best = best_finite_index(scores)
+    if best < 0:
+        return SearchResult(
+            metric_name=metric.name,
+            best_node=-1,
+            best_score=float("-inf"),
+            best_k=-1,
+            scores=scores,
+            values=values,
+            hcd=hcd,
+        )
     # rebuild the accumulated per-core values for reporting (the folding
     # above reused the rows; recompute totals per node bottom-up)
     return SearchResult(

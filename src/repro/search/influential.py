@@ -122,14 +122,18 @@ class InfluentialCommunityIndex:
         if r < 1:
             return []
         candidates = self._hcd.maximal_core_nodes(k)
-        ranked = sorted(
-            candidates,
-            key=lambda node: (
-                -self._influence[node],
-                self._core_sizes[node],
-                node,
-            ),
-        )
+
+        def sort_key(node: int):
+            influence = float(self._influence[node])
+            # NaN weights (and the +inf sentinel of an all-NaN node)
+            # must not outrank real communities: treat non-finite
+            # influence as -inf so such nodes sort last, and NaN never
+            # poisons the comparison chain
+            if not np.isfinite(influence):
+                influence = float("-inf")
+            return (-influence, self._core_sizes[node], node)
+
+        ranked = sorted(candidates, key=sort_key)
         out = []
         for node in ranked[:r]:
             out.append(

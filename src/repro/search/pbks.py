@@ -36,7 +36,7 @@ from repro.search.preprocessing import (
     preprocess_neighbor_counts,
 )
 from repro.search.primary_values import GraphTotals, PrimaryValues
-from repro.search.result import SearchResult
+from repro.search.result import SearchResult, best_finite_index
 
 __all__ = ["pbks_search", "pbks_type_a_contributions", "pbks_type_b_contributions"]
 
@@ -217,27 +217,32 @@ def pbks_search(
         counts = preprocess_neighbor_counts(graph, coreness, pool)
 
     contributions = AtomicArray(t * 5, dtype=np.float64, name="pbks_vals")
-    pbks_type_a_contributions(
-        graph, coreness, hcd, counts, pool, contributions, t
-    )
+    with pool.phase("pbks:typeA"):
+        pbks_type_a_contributions(
+            graph, coreness, hcd, counts, pool, contributions, t
+        )
     if metric.kind == "B":
         if rank_result is None:
             from repro.core.vertex_rank import compute_vertex_rank
 
             rank_result = compute_vertex_rank(graph, coreness, pool)
-        pbks_type_b_contributions(
-            graph,
-            coreness,
-            hcd,
-            counts,
-            rank_result.rank,
-            pool,
-            contributions,
-            t,
-        )
+        with pool.phase("pbks:typeB"):
+            pbks_type_b_contributions(
+                graph,
+                coreness,
+                hcd,
+                counts,
+                rank_result.rank,
+                pool,
+                contributions,
+                t,
+            )
 
     per_node = contributions.data.reshape(t, 5)
-    accumulated = tree_accumulate(pool, hcd.parent, per_node, label="pbks:accum")
+    with pool.phase("pbks:accumulate"):
+        accumulated = tree_accumulate(
+            pool, hcd.parent, per_node, label="pbks:accum"
+        )
 
     scores = np.empty(t, dtype=np.float64)
 
@@ -250,8 +255,22 @@ def pbks_search(
             totals,
         )
 
-    pool.parallel_for(range(t), score_node, label="pbks:score")
-    best = int(np.argmax(scores))
+    with pool.phase("pbks:score"):
+        pool.parallel_for(range(t), score_node, label="pbks:score")
+    best = best_finite_index(scores)
+    if best < 0:
+        # every score was NaN/-inf (e.g. a metric with zero denominators
+        # everywhere): report "no winner" instead of letting NaN poison
+        # argmax into an arbitrary node
+        return SearchResult(
+            metric_name=metric.name,
+            best_node=-1,
+            best_score=float("-inf"),
+            best_k=-1,
+            scores=scores,
+            values=accumulated,
+            hcd=hcd,
+        )
     return SearchResult(
         metric_name=metric.name,
         best_node=best,

@@ -68,8 +68,13 @@ def preprocess_neighbor_counts(
         gt[v] = g
         eq[v] = e
 
-    pool.parallel_for(
-        range(n), count, label="pbks:preprocess", chunking="dynamic", grain=32
-    )
+    with pool.phase("pbks:preprocess"):
+        pool.parallel_for(
+            range(n),
+            count,
+            label="pbks:preprocess",
+            chunking="dynamic",
+            grain=32,
+        )
     lt = graph.degrees().astype(np.int64) - gt - eq
     return NeighborCorenessCounts(gt=gt, eq=eq, lt=lt)

@@ -9,7 +9,29 @@ import numpy as np
 from repro.core.hcd import HCD
 from repro.search.primary_values import PrimaryValues
 
-__all__ = ["SearchResult"]
+__all__ = ["SearchResult", "best_finite_index"]
+
+
+def best_finite_index(scores: np.ndarray) -> int:
+    """Index of the best meaningfully-comparable score, or ``-1``.
+
+    ``np.argmax`` propagates NaN: a single NaN score (a metric hitting
+    a zero denominator, say) would be reported as the "best" subgraph.
+    Every search path (PBKS, BKS, best-k, truss) selects through this
+    guard instead: NaN is sanitized to ``-inf`` so it can never win,
+    while ``+inf`` remains a legitimate winner (e.g. the separability
+    of a boundary-free component).  When every score is NaN or
+    ``-inf`` there is nothing to rank, and ``-1`` lets callers return
+    a well-defined empty result.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    if scores.size == 0:
+        return -1
+    sanitized = np.where(np.isnan(scores), -np.inf, scores)
+    best = int(np.argmax(sanitized))
+    if sanitized[best] == -np.inf:
+        return -1
+    return best
 
 
 @dataclass

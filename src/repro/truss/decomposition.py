@@ -110,6 +110,7 @@ def truss_decomposition(
                     buckets[int(support[other])].append(other)
         cursor = max(0, cursor - 1)
     if pool is not None:
-        with pool.serial_region("truss_decomposition") as ctx:
-            ctx.charge(charged)
+        with pool.phase("truss:peel"):
+            with pool.serial_region("truss_decomposition") as ctx:
+                ctx.charge(charged)
     return trussness

@@ -29,6 +29,7 @@ import numpy as np
 from repro.graph.graph import Graph
 from repro.parallel.atomics import AtomicArray
 from repro.parallel.scheduler import SimulatedPool
+from repro.search.result import best_finite_index
 from repro.truss.decomposition import EdgeIndex
 from repro.truss.hierarchy import TrussHierarchy, _triangle_companions
 
@@ -119,13 +120,14 @@ def best_truss(
             ):
                 contributions.add(ctx, node * 2 + 1, 1.0)
 
-    pool.parallel_for(
-        range(len(index)),
-        contribute,
-        label="truss_search:count",
-        chunking="dynamic",
-        grain=16,
-    )
+    with pool.phase("truss-search:count"):
+        pool.parallel_for(
+            range(len(index)),
+            contribute,
+            label="truss_search:count",
+            chunking="dynamic",
+            grain=16,
+        )
 
     # bottom-up accumulation over the truss forest
     values = contributions.data.reshape(t, 2).copy()
@@ -136,13 +138,24 @@ def best_truss(
         pa = int(hierarchy.parent[node])
         if pa >= 0:
             values[pa] += values[node]
-    with pool.serial_region("truss_search:accumulate") as ctx:
-        ctx.charge(t)
+    with pool.phase("truss-search:accumulate"):
+        with pool.serial_region("truss_search:accumulate") as ctx:
+            ctx.charge(t)
 
     scores = np.array(
         [score_fn(float(m_), float(tri)) for m_, tri in values]
     )
-    best = int(np.argmax(scores))
+    best = best_finite_index(scores)
+    if best < 0:
+        return TrussSearchResult(
+            metric_name=metric,
+            best_node=-1,
+            best_k=-1,
+            best_score=float("-inf"),
+            scores=scores,
+            values=values,
+            hierarchy=hierarchy,
+        )
     return TrussSearchResult(
         metric_name=metric,
         best_node=best,

@@ -117,6 +117,57 @@ class TestClock:
         assert pool.clock == 0.0
         assert pool.regions == []
 
+    def test_reset_detaches_observer(self):
+        class Observer:
+            def __init__(self):
+                self.seen = []
+
+            def on_region_begin(self, label, contexts):
+                self.seen.append(label)
+
+            def on_region_end(self, label, contexts):
+                pass
+
+        pool = SimulatedPool(threads=1)
+        observer = Observer()
+        pool.set_observer(observer)
+        pool.parallel_for([1], lambda x, ctx: ctx.charge(1), label="first")
+        pool.reset()
+        # construction state: no observer, no phases, no regions
+        assert pool.observer is None
+        assert pool.phase_stack == ()
+        pool.parallel_for([1], lambda x, ctx: ctx.charge(1), label="second")
+        assert observer.seen == ["first"]
+
+    def test_reset_can_keep_observer(self):
+        class Observer:
+            def __init__(self):
+                self.seen = []
+
+            def on_region_begin(self, label, contexts):
+                self.seen.append(label)
+
+            def on_region_end(self, label, contexts):
+                pass
+
+        pool = SimulatedPool(threads=1)
+        observer = Observer()
+        pool.set_observer(observer)
+        pool.parallel_for([1], lambda x, ctx: ctx.charge(1), label="first")
+        pool.reset(detach_observer=False)
+        pool.parallel_for([1], lambda x, ctx: ctx.charge(1), label="second")
+        assert pool.observer is observer
+        assert observer.seen == ["first", "second"]
+
+    def test_reset_clears_open_phase_stack(self):
+        pool = SimulatedPool(threads=1)
+        with pool.phase("outer"):
+            assert pool.phase_stack == ("outer",)
+            pool.reset()
+            assert pool.phase_stack == ()
+        # the exiting with-block must not underflow the cleared stack
+        assert pool.phase_stack == ()
+
     def test_mark_elapsed(self):
         pool = SimulatedPool(threads=1)
         mark = pool.mark()
