@@ -1,10 +1,10 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check test sanitize lint profile bench-sanitize bench-profile
+.PHONY: check test sanitize memcheck lint profile bench-sanitize bench-profile
 
-## check: the CI gate — tests, worker lint, kernel race sweep, profiler selftest
-check: test sanitize profile
+## check: the CI gate — tests, lint, kernel race+memcheck sweep, profiler selftest
+check: test sanitize memcheck profile
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -15,9 +15,14 @@ sanitize:
 	$(PYTHON) -m repro sanitize --lint
 	$(PYTHON) -m repro sanitize --selftest
 
-## lint: just the static parallel-loop lint over src/
+## memcheck: SimCheck sweep — kernels + seeded selftests under the memory sanitizer
+memcheck:
+	$(PYTHON) -m repro sanitize --memcheck --all-kernels
+	$(PYTHON) -m repro sanitize --memcheck --selftest
+
+## lint: the full static SAN1xx-SAN3xx lint over src/, warnings gating
 lint:
-	$(PYTHON) -m repro sanitize --lint
+	$(PYTHON) -m repro sanitize --strict --lint
 
 ## profile: SimProf zero-perturbation selftest
 profile:

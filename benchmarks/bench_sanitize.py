@@ -1,17 +1,20 @@
 """Sanitizer overhead bench — starts the ``BENCH_sanitize.json`` trajectory.
 
-Runs every registered sanitize kernel twice — once on a bare pool,
-once under the race detector — and records, per kernel:
+Runs every registered sanitize kernel three times — on a bare pool,
+under the SimTSan race detector, and under the SimCheck memory
+sanitizer — and records, per kernel:
 
-* the **simulated clock** both ways.  Event recording is charge-free
-  (``ctx.read``/``ctx.write`` replaced equal-unit ``ctx.charge`` calls
-  during the migration, and pure recording uses ``units=0.0``), so the
-  delta must be exactly zero; the bench asserts it and the JSON keeps
-  the numbers so a future PR that accidentally couples detection to the
-  cost model shows up as a nonzero ``sim_delta``.
-* the **wall-clock** time both ways — the real price of building the
-  per-location access maps and the pairwise conflict check.  This is
-  the number to watch as the detector grows.
+* the **simulated clock** all three ways.  Event recording is
+  charge-free (``ctx.read``/``ctx.write`` replaced equal-unit
+  ``ctx.charge`` calls during the migration, and pure recording uses
+  ``units=0.0``), and the memcheck read barrier never touches the
+  cost model either, so both deltas must be exactly zero; the bench
+  asserts it and the JSON keeps the numbers so a future PR that
+  accidentally couples a sanitizer to the cost model shows up as a
+  nonzero ``sim_delta`` / ``sim_delta_mem``.
+* the **wall-clock** time each way — the real price of building the
+  per-location access maps, the pairwise conflict check, and the
+  per-access bounds/poison checks.
 
 Usage::
 
@@ -33,21 +36,28 @@ from common import emit, paper_table, results_dir  # noqa: E402
 from repro.parallel.scheduler import SimulatedPool  # noqa: E402
 from repro.sanitizer import KERNELS  # noqa: E402
 from repro.sanitizer.detector import RaceDetector  # noqa: E402
+from repro.sanitizer.memcheck import MemChecker  # noqa: E402
 
 THREADS = 4
 REPEATS = 3
 
 
-def _measure(body, watched: bool) -> tuple[float, float]:
-    """Return (simulated clock, best-of-N wall seconds) for one run."""
+def _measure(body, mode: str) -> tuple[float, float]:
+    """Return (simulated clock, best-of-N wall seconds) for one run.
+
+    ``mode`` is ``"off"`` (bare pool), ``"detector"`` (SimTSan), or
+    ``"memcheck"`` (SimCheck poisoned allocations + read barrier).
+    """
     best = float("inf")
     clock = 0.0
     for _ in range(REPEATS):
         pool = SimulatedPool(threads=THREADS)
-        detector = RaceDetector() if watched else None
         begin = time.perf_counter()
-        if detector is not None:
-            with detector.watch(pool):
+        if mode == "detector":
+            with RaceDetector().watch(pool):
+                body(pool)
+        elif mode == "memcheck":
+            with MemChecker().watch(pool):
                 body(pool)
         else:
             body(pool)
@@ -59,23 +69,35 @@ def _measure(body, watched: bool) -> tuple[float, float]:
 def run() -> dict:
     records = []
     for name, body in KERNELS.items():
-        sim_off, wall_off = _measure(body, watched=False)
-        sim_on, wall_on = _measure(body, watched=True)
+        sim_off, wall_off = _measure(body, mode="off")
+        sim_on, wall_on = _measure(body, mode="detector")
+        sim_mem, wall_mem = _measure(body, mode="memcheck")
         sim_delta = sim_on - sim_off
+        sim_delta_mem = sim_mem - sim_off
         assert sim_delta == 0.0, (
             f"{name}: detector changed the simulated clock by {sim_delta}"
             " — recording must stay charge-free"
+        )
+        assert sim_delta_mem == 0.0, (
+            f"{name}: memcheck changed the simulated clock by"
+            f" {sim_delta_mem} — the read barrier must stay charge-free"
         )
         records.append(
             {
                 "kernel": name,
                 "sim_clock_off": sim_off,
                 "sim_clock_on": sim_on,
+                "sim_clock_mem": sim_mem,
                 "sim_delta": sim_delta,
+                "sim_delta_mem": sim_delta_mem,
                 "wall_off_s": wall_off,
                 "wall_on_s": wall_on,
+                "wall_mem_s": wall_mem,
                 "wall_overhead": (
                     wall_on / wall_off if wall_off > 0 else float("nan")
+                ),
+                "wall_overhead_mem": (
+                    wall_mem / wall_off if wall_off > 0 else float("nan")
                 ),
             }
         )
@@ -96,9 +118,12 @@ def main() -> int:
             r["kernel"],
             f"{r['sim_clock_off']:.0f}",
             f"{r['sim_delta']:.0f}",
+            f"{r['sim_delta_mem']:.0f}",
             f"{r['wall_off_s'] * 1e3:.1f}",
             f"{r['wall_on_s'] * 1e3:.1f}",
+            f"{r['wall_mem_s'] * 1e3:.1f}",
             f"{r['wall_overhead']:.2f}x",
+            f"{r['wall_overhead_mem']:.2f}x",
         ]
         for r in payload["kernels"]
     ]
@@ -108,13 +133,16 @@ def main() -> int:
             [
                 "kernel",
                 "sim clock",
-                "sim delta",
+                "tsan delta",
+                "mem delta",
                 "wall off (ms)",
-                "wall on (ms)",
-                "overhead",
+                "wall tsan (ms)",
+                "wall mem (ms)",
+                "tsan ovh",
+                "mem ovh",
             ],
             rows,
-            title="SimTSan detector overhead"
+            title="SimTSan / SimCheck sanitizer overhead"
             f" ({THREADS} virtual threads, best of {REPEATS})",
         ),
     )
@@ -123,9 +151,10 @@ def main() -> int:
 
 
 def test_bench_sanitize_overhead():
-    """Pytest entry: detector never perturbs the simulated clock."""
+    """Pytest entry: no sanitizer ever perturbs the simulated clock."""
     payload = run()
     assert all(r["sim_delta"] == 0.0 for r in payload["kernels"])
+    assert all(r["sim_delta_mem"] == 0.0 for r in payload["kernels"])
 
 
 if __name__ == "__main__":

@@ -8,7 +8,7 @@ Subcommands
 ``bestk``      best k for whole k-core sets (Section VI)
 ``report``     full analysis report (profile, hierarchy, best cores)
 ``datasets``   list the built-in dataset stand-ins
-``sanitize``   SimTSan: race-check parallel kernels / lint worker closures
+``sanitize``   SimTSan races + SimCheck memcheck + SAN lint over kernels
 ``profile``    SimProf: span-trace a run, flame summary + trace exports
 
 Graphs come either from an edge-list file (``--input``) or a built-in
@@ -96,12 +96,21 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_san = sub.add_parser(
         "sanitize",
-        help="happens-before race detection + parallel-loop lint",
+        help="race detection + memory sanitizer + lint",
         description=(
-            "Run the SimTSan race detector over the named parallel "
-            "kernels, the static lint pass over source trees, and the "
-            "seeded-bug selftest.  With no options: all kernels, "
-            "lint over src/, and the selftest."
+            "Run the sanitizer families over the substrate: the "
+            "SimTSan race detector over the named parallel kernels, "
+            "the SimCheck memory & numeric sanitizer (--memcheck), "
+            "the static SAN1xx-SAN3xx lint pass over source trees, "
+            "and the seeded-bug selftests.  With no options: all "
+            "kernels, lint over src/, and the selftest."
+        ),
+        epilog=(
+            "Exit status: 0 when every family that ran is clean; "
+            "1 when ANY family reports (a race, a memcheck finding, "
+            "a lint error — any lint finding under --strict — or a "
+            "failed selftest); 2 on usage errors.  One summary line "
+            "is printed per family."
         ),
     )
     p_san.add_argument(
@@ -125,7 +134,30 @@ def build_parser() -> argparse.ArgumentParser:
     p_san.add_argument(
         "--selftest",
         action="store_true",
-        help="only verify the detector flags the seeded racy kernel",
+        help=(
+            "only verify the seeded-bug kernels are flagged (the racy "
+            "kernel; with --memcheck also the uninit/OOB/overflow/NaN "
+            "kernel)"
+        ),
+    )
+    p_san.add_argument(
+        "--memcheck",
+        action="store_true",
+        help=(
+            "attach the SimCheck memory sanitizer to kernel runs: "
+            "poisoned-allocation uninit reads, out-of-bounds indices, "
+            "overflowing casts, NaN origins"
+        ),
+    )
+    p_san.add_argument(
+        "--strict",
+        action="store_true",
+        help="treat lint warnings as failures (CI gate mode)",
+    )
+    p_san.add_argument(
+        "--report",
+        metavar="FILE",
+        help="write a JSON report of every family's findings to FILE",
     )
     p_san.add_argument(
         "--list", action="store_true", help="list registered kernels"
@@ -261,6 +293,7 @@ def _cmd_sanitize(args: argparse.Namespace) -> int:
     from repro.sanitizer import (
         KERNELS,
         lint_paths,
+        memcheck_selftest,
         run_kernel,
         selftest,
     )
@@ -287,8 +320,6 @@ def _cmd_sanitize(args: argparse.Namespace) -> int:
         do_lint = ["src"]
     do_selftest = args.selftest or not explicit
 
-    failed = False
-
     if args.threads < 1:
         print(
             f"--threads must be >= 1, got {args.threads}", file=sys.stderr
@@ -302,18 +333,54 @@ def _cmd_sanitize(args: argparse.Namespace) -> int:
         print(f"available: {', '.join(KERNELS)}", file=sys.stderr)
         return 2
 
+    # per-family results: family -> (failure_count, summary_suffix)
+    families: dict[str, tuple[int, str]] = {}
+    report_json: dict[str, object] = {"threads": args.threads}
+
     if do_kernels:
-        print(f"== race detection ({args.threads} virtual threads) ==")
+        mode = "races + memcheck" if args.memcheck else "race detection"
+        print(f"== {mode} ({args.threads} virtual threads) ==")
+        race_count = 0
+        mem_count = 0
+        nan_count = 0
+        kernel_rows = []
         for name in do_kernels:
-            report = run_kernel(name, threads=args.threads)
-            status = "ok" if report.clean else f"{len(report.races)} RACE(S)"
+            report = run_kernel(
+                name, threads=args.threads, memcheck=args.memcheck
+            )
+            problems = len(report.races) + len(report.memcheck_findings)
+            status = "ok" if problems == 0 else f"{problems} FINDING(S)"
             print(
                 f"  {name:22s} {report.regions:5d} regions "
                 f"{report.events:8d} events  {status}"
             )
             for race in report.races:
                 print(f"    {race}")
-                failed = True
+            for finding in report.memcheck_findings:
+                print(f"    {finding}")
+            race_count += len(report.races)
+            mem_count += len(report.memcheck_findings)
+            nan_count += len(report.nan_origins)
+            kernel_rows.append(
+                {
+                    "name": name,
+                    "regions": report.regions,
+                    "events": report.events,
+                    "races": [str(r) for r in report.races],
+                    "memcheck": [str(f) for f in report.memcheck_findings],
+                    "nan_origins": [str(o) for o in report.nan_origins],
+                }
+            )
+        families["races"] = (
+            race_count,
+            f"{race_count} finding(s) over {len(do_kernels)} kernel(s)",
+        )
+        if args.memcheck:
+            families["memcheck"] = (
+                mem_count,
+                f"{mem_count} finding(s), {nan_count} NaN origin(s)",
+            )
+        report_json["kernels"] = kernel_rows
 
     if do_lint:
         from pathlib import Path
@@ -325,19 +392,54 @@ def _cmd_sanitize(args: argparse.Namespace) -> int:
             return 2
         print(f"== lint ({', '.join(str(p) for p in do_lint)}) ==")
         findings = lint_paths(do_lint)
+        errors = sum(1 for f in findings if f.severity == "error")
+        warnings = len(findings) - errors
         for finding in findings:
             print(f"  {finding}")
-            if finding.severity == "error":
-                failed = True
         if not findings:
             print("  clean")
+        lint_failures = errors + (warnings if args.strict else 0)
+        families["lint"] = (
+            lint_failures,
+            f"{errors} error(s), {warnings} warning(s)"
+            + (" [strict]" if args.strict else ""),
+        )
+        report_json["lint"] = [str(f) for f in findings]
 
     if do_selftest:
-        print("== detector selftest (seeded racy kernel) ==")
+        print("== selftest (seeded-bug kernels) ==")
         ok, message = selftest(threads=max(args.threads, 2))
         print(f"  {message}")
-        if not ok:
-            failed = True
+        selftest_failures = 0 if ok else 1
+        if args.memcheck:
+            mok, mmessage = memcheck_selftest(threads=max(args.threads, 4))
+            print(f"  {mmessage}")
+            if not mok:
+                selftest_failures += 1
+        families["selftest"] = (
+            selftest_failures,
+            "ok" if selftest_failures == 0 else f"{selftest_failures} FAILED",
+        )
+        report_json["selftest"] = selftest_failures == 0
+
+    failed = any(count for count, _ in families.values())
+
+    print("-- family summary --")
+    for family, (count, suffix) in families.items():
+        verdict = "ok    " if count == 0 else "FAILED"
+        print(f"  {family:9s} {verdict} {suffix}")
+
+    if args.report:
+        import json
+
+        report_json["families"] = {
+            family: {"failures": count, "summary": suffix}
+            for family, (count, suffix) in families.items()
+        }
+        report_json["ok"] = not failed
+        with open(args.report, "w", encoding="utf-8") as handle:
+            json.dump(report_json, handle, indent=2, sort_keys=True)
+        print(f"report written to {args.report}")
 
     print("== FAILED ==" if failed else "== OK ==")
     return 1 if failed else 0

@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.graph.graph import Graph
 from repro.parallel.scheduler import SimulatedPool
+from repro.sanitizer.memcheck import san_empty
 
 __all__ = ["core_decomposition", "k_core_members", "shell_sizes"]
 
@@ -41,7 +42,7 @@ def core_decomposition(
     np.cumsum(counts, out=bin_start[1 : max_deg + 2])
 
     vert = np.argsort(degree, kind="stable").astype(np.int64)  # sorted by degree
-    pos = np.empty(n, dtype=np.int64)
+    pos = san_empty(n, np.int64, name="bz_pos")
     pos[vert] = np.arange(n, dtype=np.int64)
     cursor = bin_start[: max_deg + 1].copy()  # mutable bin starts
 

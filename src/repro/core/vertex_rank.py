@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.graph.graph import Graph
 from repro.parallel.scheduler import SimulatedPool
+from repro.sanitizer.memcheck import san_empty
 
 __all__ = ["VertexRankResult", "compute_vertex_rank"]
 
@@ -101,7 +102,7 @@ def compute_vertex_rank(
     )
 
     # Lines 10-11: r(v) = position of v in Vsort.
-    rank = np.empty(n, dtype=np.int64)
+    rank = san_empty(n, np.int64, name="rank")
 
     def assign_rank(i: int, ctx) -> None:
         # vsort is a permutation, so rank slots are written exactly

@@ -40,3 +40,17 @@ class UnknownDatasetError(ReproError, KeyError):
 
 class SearchError(ReproError):
     """A subgraph-search computation received invalid input."""
+
+
+class MemcheckError(ReproError):
+    """The SimCheck memory sanitizer was misused (bad dtype, bad name)."""
+
+
+class NumericSoundnessError(ReproError):
+    """A narrowing cast or accumulation would overflow or lose values.
+
+    Raised by :func:`repro.sanitizer.memcheck.checked_cast` /
+    :func:`~repro.sanitizer.memcheck.checked_sum` when no
+    :class:`~repro.sanitizer.memcheck.MemChecker` is active to collect
+    the finding instead.
+    """

@@ -1,0 +1,169 @@
+"""Checked CSR views for untrusted graph inputs.
+
+:class:`~repro.graph.graph.Graph` validates its invariants with a
+Python-level loop that is thorough but (a) quadratic-ish on large
+inputs and (b) raises the *internal* :class:`~repro.errors.GraphBuildError`,
+which callers reasonably treat as "library bug", not "bad file".
+Untrusted inputs — npz files from disk, METIS/edge-list parses, any
+CSR arrays that crossed a serialization boundary — deserve a
+different contract: **every** structural property is verified with
+vectorized numpy checks, and violations raise
+:class:`~repro.errors.GraphFormatError` with a message naming the
+first offending vertex/offset, so a corrupted file is a clean input
+error instead of an out-of-range index detonating deep inside a
+kernel (or worse, a negative index silently wrapping around).
+
+:func:`validate_csr` is the checker; :class:`CheckedGraph` is a
+:class:`Graph` subclass that runs it on construction.  The io load
+paths (:func:`repro.graph.io.load_npz`) route through
+:class:`CheckedGraph`, so ``Graph(..., validate=False)`` remains an
+internal-only fast path for arrays built by code that proves the
+invariants by construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+from repro.graph.graph import Graph
+
+__all__ = ["CheckedGraph", "validate_csr"]
+
+#: ``indices`` may not exceed this many entries: ``2 * m`` must fit an
+#: int64 and leave headroom for offset arithmetic (``indptr`` sums).
+MAX_ARCS = np.iinfo(np.int64).max // 4
+
+
+def validate_csr(indptr: np.ndarray, indices: np.ndarray) -> None:
+    """Validate untrusted CSR arrays; raise :class:`GraphFormatError`.
+
+    Checks, all vectorized:
+
+    1. shape/dtype sanity — 1-D, integer-kind, castable to int64
+       without overflow, arc count within :data:`MAX_ARCS`;
+    2. ``indptr`` brackets ``indices`` (``indptr[0] == 0``,
+       ``indptr[-1] == len(indices)``) and is non-decreasing;
+    3. neighbor ids within ``[0, n)``;
+    4. adjacency rows strictly sorted (sorted + duplicate-free);
+    5. no self-loops;
+    6. symmetry — every arc ``(u, v)`` has its reverse ``(v, u)``,
+       which also forces the arc count to be even (``2 m``).
+    """
+    indptr = np.asarray(indptr)
+    indices = np.asarray(indices)
+    if indptr.ndim != 1 or indices.ndim != 1:
+        raise GraphFormatError("indptr and indices must be 1-D arrays")
+    for label, arr in (("indptr", indptr), ("indices", indices)):
+        if arr.dtype.kind not in "iu":
+            raise GraphFormatError(
+                f"{label} must be an integer array, got dtype {arr.dtype}"
+            )
+        if arr.dtype.kind == "u" and arr.size and int(arr.max()) > np.iinfo(np.int64).max:
+            raise GraphFormatError(f"{label} values overflow int64")
+    if indptr.size == 0:
+        raise GraphFormatError("indptr must have at least one entry")
+    if indices.size > MAX_ARCS:
+        raise GraphFormatError(
+            f"arc count {indices.size} exceeds the supported maximum {MAX_ARCS}"
+        )
+    indptr = indptr.astype(np.int64, copy=False)
+    indices = indices.astype(np.int64, copy=False)
+    n = indptr.size - 1
+
+    if indptr[0] != 0:
+        raise GraphFormatError(f"indptr[0] must be 0, got {int(indptr[0])}")
+    if indptr[-1] != indices.size:
+        raise GraphFormatError(
+            f"indptr[-1]={int(indptr[-1])} does not match "
+            f"len(indices)={indices.size}"
+        )
+    row_sizes = np.diff(indptr)
+    bad = np.flatnonzero(row_sizes < 0)
+    if bad.size:
+        v = int(bad[0])
+        raise GraphFormatError(
+            f"indptr decreases at vertex {v}: "
+            f"{int(indptr[v])} -> {int(indptr[v + 1])}"
+        )
+    if indices.size:
+        lo, hi = int(indices.min()), int(indices.max())
+        if lo < 0 or hi >= n:
+            offender = lo if lo < 0 else hi
+            at = int(np.flatnonzero(indices == offender)[0])
+            raise GraphFormatError(
+                f"neighbor id {offender} at indices[{at}] outside [0, {n})"
+            )
+
+    # Row owner of every arc: src[k] = vertex whose list holds indices[k].
+    src = np.repeat(np.arange(n, dtype=np.int64), row_sizes)
+
+    if indices.size:
+        loops = np.flatnonzero(indices == src)
+        if loops.size:
+            raise GraphFormatError(
+                f"self-loop at vertex {int(src[loops[0]])}"
+            )
+        # Strict per-row sortedness: within a row every consecutive
+        # pair must increase; pairs straddling a row boundary are
+        # exempt.  (Strict also rules out duplicate neighbors.)
+        if indices.size > 1:
+            same_row = src[1:] == src[:-1]
+            nonincreasing = indices[1:] <= indices[:-1]
+            bad = np.flatnonzero(same_row & nonincreasing)
+            if bad.size:
+                v = int(src[bad[0]])
+                raise GraphFormatError(
+                    f"adjacency list of vertex {v} is not strictly "
+                    f"sorted (offset {int(bad[0])})"
+                )
+        # Symmetry: the multiset of (src, dst) arcs must equal the
+        # multiset of (dst, src) arcs.  Sort both and compare.
+        fwd = np.lexsort((indices, src))
+        rev = np.lexsort((src, indices))
+        if not (
+            np.array_equal(src[fwd], indices[rev])
+            and np.array_equal(indices[fwd], src[rev])
+        ):
+            mismatch = np.flatnonzero(
+                (src[fwd] != indices[rev]) | (indices[fwd] != src[rev])
+            )
+            k = int(fwd[mismatch[0]])
+            raise GraphFormatError(
+                f"graph is not symmetric: arc ({int(src[k])}, "
+                f"{int(indices[k])}) has no reverse arc"
+            )
+    if indices.size % 2 != 0:
+        raise GraphFormatError(
+            f"arc count {indices.size} is odd; a symmetric simple graph "
+            f"stores every edge twice"
+        )
+
+
+class CheckedGraph(Graph):
+    """A :class:`Graph` whose CSR arrays were fully validated.
+
+    Constructing one from untrusted ``indptr``/``indices`` runs
+    :func:`validate_csr` (raising :class:`GraphFormatError` on any
+    structural violation) and only then builds the immutable graph —
+    skipping the slower Python-loop invariant checker, which the
+    vectorized pass subsumes.
+
+    The resulting object *is* a :class:`Graph` (``isinstance`` holds),
+    so it flows through every kernel unchanged; the subclass only
+    exists to mark provenance and carry the checked constructor.
+    """
+
+    __slots__ = ()
+
+    def __init__(self, indptr: np.ndarray, indices: np.ndarray) -> None:
+        validate_csr(indptr, indices)
+        super().__init__(indptr, indices, validate=False)
+
+    @classmethod
+    def wrap(cls, graph: Graph) -> "CheckedGraph":
+        """Re-validate an existing graph's arrays as untrusted input."""
+        return cls(graph.indptr, graph.indices)
+
+    def __repr__(self) -> str:
+        return f"CheckedGraph(n={self.num_vertices}, m={self.num_edges})"

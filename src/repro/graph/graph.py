@@ -23,6 +23,12 @@ from repro.errors import GraphBuildError, GraphFormatError
 
 __all__ = ["Graph"]
 
+#: Largest vertex count for which the scalar dedup key ``lo * n + hi``
+#: provably fits int64 (``n**2 <= 2**63 - 1``).  Beyond it the key
+#: arithmetic would silently wrap, merging distinct edges — dedup falls
+#: back to row-wise ``np.unique`` instead.
+_KEY_SAFE_N = 3_037_000_499
+
 
 class Graph:
     """An immutable undirected simple graph in CSR form.
@@ -108,10 +114,15 @@ class Graph:
         # Canonicalize each undirected edge as (min, max) and dedup.
         lo = np.minimum(u, v)
         hi = np.maximum(u, v)
-        key = lo * np.int64(n) + hi
-        _, first = np.unique(key, return_index=True)
-        lo = lo[first]
-        hi = hi[first]
+        if n <= _KEY_SAFE_N:
+            key = lo * np.int64(n) + hi
+            _, first = np.unique(key, return_index=True)
+            lo = lo[first]
+            hi = hi[first]
+        else:
+            uniq = np.unique(np.column_stack([lo, hi]), axis=0)
+            lo = uniq[:, 0]
+            hi = uniq[:, 1]
         # Symmetric COO: both directions.
         src = np.concatenate([lo, hi])
         dst = np.concatenate([hi, lo])

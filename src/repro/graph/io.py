@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.errors import GraphFormatError
 from repro.graph.builder import GraphBuilder
+from repro.graph.checked import CheckedGraph
 from repro.graph.graph import Graph
 
 __all__ = [
@@ -107,7 +108,12 @@ def read_metis(path: str | os.PathLike[str]) -> Graph:
     header = lines[0].split()
     if len(header) < 2:
         raise GraphFormatError(f"bad METIS header: {lines[0]!r}")
-    n, m = int(header[0]), int(header[1])
+    try:
+        n, m = int(header[0]), int(header[1])
+    except ValueError as exc:
+        raise GraphFormatError(f"non-integer METIS header: {lines[0]!r}") from exc
+    if n < 0 or m < 0:
+        raise GraphFormatError(f"negative counts in METIS header: {lines[0]!r}")
     adjacency = lines[1:]
     # tolerate trailing blank lines beyond the declared vertex count
     while len(adjacency) > n and not adjacency[-1]:
@@ -121,7 +127,12 @@ def read_metis(path: str | os.PathLike[str]) -> Graph:
         builder.add_vertex(v)
     for v, line in enumerate(adjacency):
         for token in line.split():
-            u = int(token) - 1
+            try:
+                u = int(token) - 1
+            except ValueError as exc:
+                raise GraphFormatError(
+                    f"vertex {v}: non-integer neighbor {token!r}"
+                ) from exc
             if u < 0 or u >= n:
                 raise GraphFormatError(f"vertex {v}: neighbor {token} out of range")
             builder.add_edge(v, u)
@@ -152,8 +163,14 @@ def save_npz(graph: Graph, path: str | os.PathLike[str]) -> None:
 
 
 def load_npz(path: str | os.PathLike[str]) -> Graph:
-    """Load a graph previously stored with :func:`save_npz`."""
+    """Load a graph previously stored with :func:`save_npz`.
+
+    The file is *untrusted input*: the CSR arrays are fully validated
+    through :class:`~repro.graph.checked.CheckedGraph`, so a corrupted
+    or hand-edited npz raises :class:`~repro.errors.GraphFormatError`
+    instead of smuggling out-of-range indices into the kernels.
+    """
     with np.load(Path(path)) as data:
         if "indptr" not in data or "indices" not in data:
             raise GraphFormatError("npz file missing 'indptr'/'indices' arrays")
-        return Graph(data["indptr"], data["indices"], validate=False)
+        return CheckedGraph(data["indptr"], data["indices"])

@@ -28,6 +28,7 @@ from repro.graph.graph import Graph
 from repro.parallel.atomics import AtomicArray, AtomicSet
 from repro.parallel.scheduler import SimulatedPool
 from repro.nucleus.decomposition import TriangleIndex, nucleus_decomposition
+from repro.sanitizer.memcheck import san_empty
 from repro.unionfind.pivot import PivotUnionFind
 
 __all__ = ["NucleusHierarchy", "nucleus_hierarchy"]
@@ -154,7 +155,7 @@ def nucleus_hierarchy(
 
     kmax = int(theta.max())
     order = np.lexsort((np.arange(t), theta))
-    rank = np.empty(t, dtype=np.int64)
+    rank = san_empty(t, np.int64, name="nucleus_rank")
     rank[order] = np.arange(t)
     shells: list[list[int]] = [[] for _ in range(kmax + 1)]
     for tid in range(t):

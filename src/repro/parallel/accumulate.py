@@ -19,6 +19,7 @@ import numpy as np
 from repro.errors import HierarchyError
 from repro.parallel.atomics import AtomicArray
 from repro.parallel.scheduler import SimulatedPool
+from repro.sanitizer.memcheck import san_empty
 
 __all__ = ["tree_depths", "tree_accumulate", "tree_accumulate_euler"]
 
@@ -155,9 +156,9 @@ def tree_accumulate_euler(
             children[pa].append(node)
         else:
             roots.append(node)
-    preorder = np.empty(n, dtype=np.int64)   # position -> node
-    start = np.empty(n, dtype=np.int64)      # node -> first position
-    end = np.empty(n, dtype=np.int64)        # node -> one past last position
+    preorder = san_empty(n, np.int64, name=f"{label}:preorder")  # position -> node
+    start = san_empty(n, np.int64, name=f"{label}:start")  # node -> first position
+    end = san_empty(n, np.int64, name=f"{label}:end")  # node -> one past last
     cursor = 0
     for root in roots:
         stack: list[tuple[int, bool]] = [(root, False)]
@@ -198,15 +199,18 @@ def tree_accumulate_euler(
         stride *= 2
 
     # subtree sum of node = prefix[end-1] - prefix[start-1]
-    out = np.empty_like(vals)
+    out = san_empty(vals.shape, vals.dtype, name=f"{label}:out")
 
     def subtree_total(node: int, ctx) -> None:
         # prefix is frozen after the scan regions; each node owns its
-        # output row
-        ctx.write((f"{label}:out", int(node)), width)
-        hi = prefix[end[node] - 1]
-        lo = prefix[start[node] - 1] if start[node] > 0 else 0.0
-        out[node] = hi - lo
+        # output row.  start/end are tour positions in [0, n] by
+        # construction (every node is pushed exactly once), so the
+        # prefix reads stay in bounds.
+        hi = prefix[end[node] - 1]  # sani: ok - tour bounds proof above
+        lo = prefix[start[node] - 1] if start[node] > 0 else 0.0  # sani: ok - tour bounds
+        total = hi - lo
+        ctx.write((f"{label}:out", int(node)), width, value=total)
+        out[node] = total
 
     pool.parallel_for(
         list(range(n)), subtree_total, label=f"{label}:ranges"

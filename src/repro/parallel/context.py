@@ -78,6 +78,7 @@ class ThreadContext:
         "_cost",
         "_atomic_locations",
         "_events",
+        "_memcheck",
     )
 
     def __init__(self, thread_id: int, cost_model: CostModel) -> None:
@@ -89,6 +90,13 @@ class ThreadContext:
         self._atomic_locations: dict[object, int] = {}
         #: memory-access event stream (None = recording disabled)
         self._events: list[tuple[int, object]] | None = None
+        #: SimCheck read/write barrier (None = memcheck disabled).  Set
+        #: by a :class:`~repro.sanitizer.memcheck.MemChecker` observer
+        #: at region begin; every recorded access is then also checked
+        #: *immediately* against the poisoned-allocation shadow state,
+        #: so uninitialized reads and out-of-bounds indices report the
+        #: exact serial order the substrate executed.  Charge-free.
+        self._memcheck: object | None = None
 
     def charge(self, units: float = 1) -> None:
         """Charge ``units`` of ordinary work.
@@ -136,6 +144,10 @@ class ThreadContext:
             self._events.append(
                 (EV_ATOMIC_WRITE, location if word is None else word)
             )
+        if self._memcheck is not None:
+            self._memcheck.on_write_event(
+                location if word is None else word, None, self.thread_id
+            )
 
     # ------------------------------------------------------------------
     # recorded plain / atomic accesses (sanitizer-visible)
@@ -152,18 +164,30 @@ class ThreadContext:
         self.work += units
         if self._events is not None:
             self._events.append((EV_READ, location))
+        if self._memcheck is not None:
+            self._memcheck.on_read_event(location, self.thread_id)
 
-    def write(self, location: object, units: float = 1.0) -> None:
+    def write(
+        self, location: object, units: float = 1.0, value: object = None
+    ) -> None:
         """Charge a plain write of the shared word ``location``.
 
         The write itself is *not* synchronized: the detector flags it
         against any concurrent access of the same word.  Kernels use
         this for stores whose disjointness across threads is a proof
         obligation (per-item output slots, permutation scatters).
+
+        ``value`` optionally carries the value being stored so the
+        memcheck sanitizer can track numeric soundness — a non-finite
+        ``value`` records the writing region/phase as the NaN origin.
+        Pass it at score-producing sites; it is ignored (and free)
+        when no checker is attached.
         """
         self.work += units
         if self._events is not None:
             self._events.append((EV_WRITE, location))
+        if self._memcheck is not None:
+            self._memcheck.on_write_event(location, value, self.thread_id)
 
     def atomic_load(self, location: object, units: float = 1.0) -> None:
         """Charge an atomic (synchronized) load of ``location``.
@@ -175,6 +199,8 @@ class ThreadContext:
         self.work += units
         if self._events is not None:
             self._events.append((EV_ATOMIC_READ, location))
+        if self._memcheck is not None:
+            self._memcheck.on_read_event(location, self.thread_id)
 
     def record(self, kind: int, location: object) -> None:
         """Append a raw access event without charging.
@@ -185,6 +211,11 @@ class ThreadContext:
         """
         if self._events is not None:
             self._events.append((kind, location))
+        if self._memcheck is not None:
+            if kind in (EV_WRITE, EV_ATOMIC_WRITE):
+                self._memcheck.on_write_event(location, None, self.thread_id)
+            else:
+                self._memcheck.on_read_event(location, self.thread_id)
 
     def begin_recording(self) -> None:
         """Start (or reset) memory-access event recording."""

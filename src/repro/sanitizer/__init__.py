@@ -1,17 +1,25 @@
-"""SimTSan: race detection and parallel-loop lint for the substrate.
+"""SimTSan + SimCheck: sanitizers and lint for the simulated substrate.
 
-Two complementary gates over the simulated-multicore kernels:
+Three complementary gates over the simulated-multicore kernels:
 
-* :mod:`repro.sanitizer.detector` — a dynamic happens-before race
-  detector replaying per-thread memory-access event streams recorded
-  by :class:`~repro.parallel.context.ThreadContext`;
-* :mod:`repro.sanitizer.lint` — a static AST pass over
-  ``parallel_for`` worker closures flagging unrecorded mutation of
-  captured shared state.
+* :mod:`repro.sanitizer.detector` — SimTSan, a dynamic happens-before
+  race detector replaying per-thread memory-access event streams
+  recorded by :class:`~repro.parallel.context.ThreadContext`;
+* :mod:`repro.sanitizer.memcheck` — SimCheck, an ASan/UBSan-style
+  memory & numeric soundness sanitizer: poisoned allocations
+  (:func:`san_empty`), a per-access read barrier catching
+  uninitialized reads and out-of-bounds indices, checked narrowing
+  casts, and NaN-origin tracking;
+* :mod:`repro.sanitizer.lint` — a static AST pass: SAN1xx/2xx over
+  ``parallel_for`` worker closures (unrecorded mutation of captured
+  shared state), SAN3xx module-wide (unpoisoned allocation, unchecked
+  data-dependent indexing, narrowing casts, float-into-int
+  accumulation).
 
-Entry points: ``repro sanitize`` (CLI), ``pytest --sanitize`` (test
-suite under the detector), :func:`repro.sanitizer.kernels.run_all_kernels`
-(programmatic).  Also importable as :mod:`repro.analysis.sanitizer`.
+Entry points: ``repro sanitize`` (CLI; ``--memcheck`` adds SimCheck),
+``pytest --sanitize [--memcheck]`` (test suite under the observers),
+:func:`repro.sanitizer.kernels.run_all_kernels` (programmatic).  Also
+importable as :mod:`repro.analysis.sanitizer`.
 """
 
 from repro.sanitizer.detector import RaceDetector, RaceReport
@@ -22,6 +30,17 @@ from repro.sanitizer.kernels import (
     run_kernel,
 )
 from repro.sanitizer.lint import LintFinding, lint_file, lint_paths, lint_source
+from repro.sanitizer.memcheck import (
+    MemChecker,
+    MemcheckFinding,
+    NanOrigin,
+    checked_cast,
+    checked_sum,
+    memcheck_selftest,
+    run_buggy_memcheck_kernel,
+    san_empty,
+    trap_value,
+)
 from repro.sanitizer.selftest import SELFTEST_PREFIX, run_racy_kernel, selftest
 from repro.sanitizer.vectorclock import VectorClock
 
@@ -40,4 +59,13 @@ __all__ = [
     "SELFTEST_PREFIX",
     "run_racy_kernel",
     "selftest",
+    "MemChecker",
+    "MemcheckFinding",
+    "NanOrigin",
+    "san_empty",
+    "trap_value",
+    "checked_cast",
+    "checked_sum",
+    "memcheck_selftest",
+    "run_buggy_memcheck_kernel",
 ]

@@ -22,14 +22,16 @@ import numpy as np
 
 from repro.graph.generators import erdos_renyi, powerlaw_cluster
 from repro.parallel.scheduler import SimulatedPool
+from repro.parallel.observers import ObserverFanout
 from repro.sanitizer.detector import RaceDetector, RaceReport
+from repro.sanitizer.memcheck import MemChecker, san_empty
 
 __all__ = ["KernelReport", "KERNELS", "run_kernel", "run_all_kernels"]
 
 
 @dataclass
 class KernelReport:
-    """Outcome of one kernel run under the detector."""
+    """Outcome of one kernel run under the detector (and memcheck)."""
 
     name: str
     threads: int
@@ -37,10 +39,14 @@ class KernelReport:
     regions: int = 0
     events: int = 0
     clock: float = 0.0
+    #: SimCheck findings (uninit/OOB/overflow) when run with memcheck
+    memcheck_findings: list = field(default_factory=list)
+    #: NaN origins tracked by memcheck (informational, never failing)
+    nan_origins: list = field(default_factory=list)
 
     @property
     def clean(self) -> bool:
-        return not self.races
+        return not self.races and not self.memcheck_findings
 
 
 def _coreness(graph, pool: SimulatedPool) -> np.ndarray:
@@ -119,7 +125,7 @@ def _kernel_unionfind_waitfree(pool: SimulatedPool) -> None:
 
 def _accumulate_forest(n: int, seed: int) -> np.ndarray:
     rng = np.random.default_rng(seed)
-    parents = np.empty(n, dtype=np.int64)
+    parents = san_empty(n, np.int64, name="forest_parents")
     parents[0] = -1
     for i in range(1, n):
         parents[i] = int(rng.integers(0, i))
@@ -164,8 +170,16 @@ KERNELS: dict[str, object] = {
 }
 
 
-def run_kernel(name: str, threads: int = 4) -> KernelReport:
-    """Run one named kernel under a fresh detector; returns its report."""
+def run_kernel(
+    name: str, threads: int = 4, memcheck: bool = False
+) -> KernelReport:
+    """Run one named kernel under a fresh detector; returns its report.
+
+    With ``memcheck=True`` a :class:`~repro.sanitizer.memcheck.MemChecker`
+    rides along on the same pool (composed with the detector via
+    :class:`~repro.parallel.observers.ObserverFanout`), so the report
+    also carries memory/numeric findings and NaN origins.
+    """
     try:
         body = KERNELS[name]
     except KeyError:
@@ -174,8 +188,18 @@ def run_kernel(name: str, threads: int = 4) -> KernelReport:
         ) from None
     pool = SimulatedPool(threads=threads)
     detector = RaceDetector()
-    with detector.watch(pool):
-        body(pool)
+    checker = MemChecker() if memcheck else None
+    if checker is None:
+        with detector.watch(pool):
+            body(pool)
+    else:
+        pool.set_observer(ObserverFanout([detector, checker]))
+        checker.activate()
+        try:
+            body(pool)
+        finally:
+            checker.deactivate()
+            pool.set_observer(None)
     return KernelReport(
         name=name,
         threads=threads,
@@ -183,9 +207,16 @@ def run_kernel(name: str, threads: int = 4) -> KernelReport:
         regions=detector.regions_checked,
         events=detector.events_seen,
         clock=pool.clock,
+        memcheck_findings=list(checker.findings) if checker else [],
+        nan_origins=list(checker.nan_origins) if checker else [],
     )
 
 
-def run_all_kernels(threads: int = 4) -> list[KernelReport]:
+def run_all_kernels(
+    threads: int = 4, memcheck: bool = False
+) -> list[KernelReport]:
     """Run every registered kernel; returns reports in registry order."""
-    return [run_kernel(name, threads=threads) for name in KERNELS]
+    return [
+        run_kernel(name, threads=threads, memcheck=memcheck)
+        for name in KERNELS
+    ]

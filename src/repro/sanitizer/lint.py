@@ -25,7 +25,25 @@ SAN201   warning   bare subscript store at an item-derived index without
                    invisible to the race detector
 SAN202   warning   worker performs no ``ctx`` call at all — its work is
                    free under the cost model
+SAN301   warning   unpoisoned ``np.empty``/``np.empty_like`` of non-zero
+                   size — stale memory readable without a trap; use
+                   ``san_empty`` so SimCheck can catch uninitialized
+                   reads
+SAN302   warning   data-dependent subscript (``arr[other[i]]``) on a
+                   captured non-CSR array inside a parallel worker —
+                   the loaded index is unchecked and a negative value
+                   silently wraps
+SAN303   warning   narrowing ``.astype(...)`` to a smaller dtype — use
+                   ``checked_cast`` so out-of-range values report
+                   instead of wrapping
+SAN304   warning   float expression accumulated into a known int-dtype
+                   array — silently truncates; accumulate in float or
+                   use ``checked_sum``
 =======  ========  =======================================================
+
+SAN1xx/2xx (SimTSan) analyse ``parallel_for`` worker closures; SAN3xx
+(SimCheck) is a module-wide pass, except SAN302 which also scopes to
+workers.
 
 Escapes
 -------
@@ -33,6 +51,13 @@ Escapes
   and exempt from SAN102 (the standard per-thread-bucket idiom).
 * Names bound to ``Atomic*`` constructors (or
   ``AtomicArray.from_array``) module-wide are exempt everywhere.
+* ``np.empty`` with a literal-zero shape (``np.empty(0)``, a tuple
+  containing ``0``) is exempt from SAN301 — empty sentinels hold no
+  readable memory.
+* Names assigned from ``<graph>.indptr`` / ``<graph>.indices`` are
+  *trusted CSR arrays* (validated by construction or via
+  ``CheckedGraph``) and exempt from SAN302, so the ubiquitous
+  ``indices[indptr[v]:indptr[v+1]]`` idiom stays clean.
 * A trailing ``# sani: ok`` comment suppresses all findings on that
   line; include a reason, e.g. ``# sani: ok - permutation scatter``.
 """
@@ -94,6 +119,53 @@ SAFE_BUILTINS = frozenset(
 
 _ATOMIC_CONSTRUCTORS = frozenset(
     {"AtomicCounter", "AtomicArray", "AtomicSet", "AtomicList"}
+)
+
+#: dtypes a cast *into* loses range/precision relative to the int64 /
+#: float64 the substrate computes in (SAN303).
+_NARROWING_DTYPES = frozenset(
+    {
+        "int32",
+        "int16",
+        "int8",
+        "uint8",
+        "uint16",
+        "uint32",
+        "intc",
+        "short",
+        "byte",
+        "single",
+        "half",
+        "float32",
+        "float16",
+    }
+)
+
+#: Integer dtype spellings recognized when classifying allocations for
+#: SAN304 (``dtype=np.int64``, ``dtype="int32"``, ``dtype=int``).
+_INT_DTYPE_NAMES = frozenset(
+    {
+        "int",
+        "int8",
+        "int16",
+        "int32",
+        "int64",
+        "uint8",
+        "uint16",
+        "uint32",
+        "uint64",
+        "intp",
+        "intc",
+        "short",
+        "byte",
+        "long",
+        "longlong",
+    }
+)
+
+#: numpy allocators whose result dtype we can classify statically.
+_ARRAY_ALLOCATORS = frozenset(
+    {"zeros", "ones", "empty", "full", "arange", "zeros_like", "full_like"}
 )
 
 
@@ -171,6 +243,82 @@ def _collect_atomic_names(tree: ast.Module) -> set[str]:
             if isinstance(target, ast.Name):
                 atomic.add(target.id)
     return atomic
+
+
+def _collect_trusted_csr(tree: ast.Module) -> set[str]:
+    """Names assigned from ``<x>.indptr`` / ``<x>.indices`` anywhere.
+
+    Those arrays come out of a validated :class:`Graph` (or a
+    ``CheckedGraph`` for untrusted inputs), so data-dependent indexing
+    *with* them — ``indices[indptr[v]:indptr[v+1]]`` — is the trusted
+    CSR traversal idiom, exempt from SAN302.
+    """
+    trusted: set[str] = set()
+
+    def _bind(target: ast.expr, value: ast.expr) -> None:
+        if (
+            isinstance(target, ast.Name)
+            and isinstance(value, ast.Attribute)
+            and value.attr in ("indptr", "indices")
+        ):
+            trusted.add(target.id)
+
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Assign):
+            continue
+        for target in node.targets:
+            # plain: indices = g.indices — and tuple unpack:
+            # indptr, indices = g.indptr, g.indices
+            if isinstance(target, ast.Tuple) and isinstance(
+                node.value, ast.Tuple
+            ):
+                if len(target.elts) == len(node.value.elts):
+                    for t, v in zip(target.elts, node.value.elts):
+                        _bind(t, v)
+            else:
+                _bind(target, node.value)
+    return trusted
+
+
+def _dtype_name(expr: ast.expr | None) -> str | None:
+    """The dtype spelling of ``np.int64`` / ``"int32"`` / ``int``, if any."""
+    if expr is None:
+        return None
+    if isinstance(expr, ast.Attribute):
+        return expr.attr
+    if isinstance(expr, ast.Name):
+        return expr.id
+    if isinstance(expr, ast.Constant) and isinstance(expr.value, str):
+        return expr.value
+    return None
+
+
+def _collect_int_arrays(tree: ast.Module) -> set[str]:
+    """Names bound to integer-dtype numpy allocations, module-wide."""
+    known: set[str] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Assign) or not isinstance(node.value, ast.Call):
+            continue
+        func = node.value.func
+        dtype: str | None = None
+        if isinstance(func, ast.Attribute) and func.attr in _ARRAY_ALLOCATORS:
+            for kw in node.value.keywords:
+                if kw.arg == "dtype":
+                    dtype = _dtype_name(kw.value)
+            if dtype is None and func.attr == "arange":
+                dtype = "int64"  # numpy default for int start/stop
+        elif isinstance(func, ast.Name) and func.id == "san_empty":
+            args = node.value.args
+            dtype = _dtype_name(args[1]) if len(args) >= 2 else "int64"
+            for kw in node.value.keywords:
+                if kw.arg == "dtype":
+                    dtype = _dtype_name(kw.value)
+        if dtype is None or dtype not in _INT_DTYPE_NAMES:
+            continue
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                known.add(target.id)
+    return known
 
 
 def _suppressed_lines(source: str) -> set[int]:
@@ -314,11 +462,13 @@ class _WorkerLinter:
         atomic_names: set[str],
         suppressed: set[int],
         path: str,
+        trusted_csr: set[str] | None = None,
     ) -> None:
         self.w = worker
         self.atomic = atomic_names
         self.suppressed = suppressed
         self.path = path
+        self.trusted_csr = trusted_csr or set()
         self.findings: list[LintFinding] = []
         body = worker.node.body
         self.body_nodes = body if isinstance(body, list) else [body]
@@ -326,6 +476,27 @@ class _WorkerLinter:
         for stmt in self.body_nodes:
             self.locals |= _assigned_names(stmt)
         self.params = {p for p in (worker.item, worker.ctx) if p}
+        # Subscripts inside type annotations (dict[int, ...]) are not
+        # array accesses; exclude their subtrees from SAN302.
+        self._annotation_nodes: set[int] = set()
+        for stmt in self.body_nodes:
+            for node in ast.walk(stmt):
+                anns: list[ast.expr] = []
+                if isinstance(node, ast.AnnAssign):
+                    anns.append(node.annotation)
+                elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    if node.returns is not None:
+                        anns.append(node.returns)
+                    for arg in (
+                        node.args.posonlyargs
+                        + node.args.args
+                        + node.args.kwonlyargs
+                    ):
+                        if arg.annotation is not None:
+                            anns.append(arg.annotation)
+                for ann in anns:
+                    for inner in ast.walk(ann):
+                        self._annotation_nodes.add(id(inner))
         # names derived purely from the loop item
         self.derived: set[str] = {worker.item} if worker.item else set()
         self._infer_derived()
@@ -448,6 +619,10 @@ class _WorkerLinter:
                         self._check_store(target, nonlocal_names)
                 elif isinstance(node, ast.Call):
                     self._check_mutating_call(node)
+                elif isinstance(node, ast.Subscript) and isinstance(
+                    node.ctx, ast.Load
+                ):
+                    self._check_unchecked_index(node)
 
         if not self.has_ctx_call:
             self._emit(
@@ -547,6 +722,46 @@ class _WorkerLinter:
             node = node.value
         return False
 
+    def _check_unchecked_index(self, node: ast.Subscript) -> None:
+        """SAN302: ``arr[other[i]]`` on a captured non-CSR array."""
+        if id(node) in self._annotation_nodes:
+            return
+        base = _base_name(node.value)
+        if (
+            not self._is_captured(base)
+            or base in self.atomic
+            or base in self.trusted_csr
+            or base == self.w.ctx
+        ):
+            return
+        if self._thread_local_receiver(node.value):
+            return
+        slice_parts: list[ast.expr] = []
+        if isinstance(node.slice, ast.Slice):
+            slice_parts = [
+                part
+                for part in (node.slice.lower, node.slice.upper, node.slice.step)
+                if part is not None
+            ]
+        else:
+            slice_parts = [node.slice]
+        nested = any(
+            isinstance(inner, ast.Subscript)
+            for part in slice_parts
+            for inner in ast.walk(part)
+        )
+        if not nested:
+            return
+        self._emit(
+            node,
+            "SAN302",
+            "warning",
+            f"data-dependent index into captured {base!r}: the index is "
+            "loaded from another array and unchecked — a corrupt value "
+            "reads out of bounds (or wraps negative) silently; bind the "
+            "index to a checked local, or suppress with a bounds proof",
+        )
+
     def _check_mutating_call(self, node: ast.Call) -> None:
         func = node.func
         if not isinstance(func, ast.Attribute):
@@ -573,6 +788,144 @@ class _WorkerLinter:
 
 
 # ----------------------------------------------------------------------
+# module-wide analysis (SAN3xx — SimCheck lint)
+# ----------------------------------------------------------------------
+
+
+class _ModuleLinter:
+    """Memory & numeric soundness rules over the whole module."""
+
+    def __init__(
+        self, tree: ast.Module, suppressed: set[int], path: str
+    ) -> None:
+        self.tree = tree
+        self.suppressed = suppressed
+        self.path = path
+        self.int_arrays = _collect_int_arrays(tree)
+        self.findings: list[LintFinding] = []
+
+    def _emit(self, node: ast.AST, code: str, message: str) -> None:
+        line = getattr(node, "lineno", 0)
+        if line in self.suppressed:
+            return
+        self.findings.append(
+            LintFinding(
+                path=self.path,
+                line=line,
+                col=getattr(node, "col_offset", 0),
+                code=code,
+                severity="warning",
+                message=message,
+            )
+        )
+
+    def run(self) -> list[LintFinding]:
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Call):
+                self._check_empty(node)
+                self._check_narrowing_cast(node)
+            elif isinstance(node, ast.AugAssign):
+                self._check_float_into_int(node)
+        return self.findings
+
+    @staticmethod
+    def _zero_size(shape: ast.expr | None) -> bool:
+        """Shape provably allocates nothing (literal 0 somewhere)."""
+        if shape is None:
+            return False
+        if isinstance(shape, ast.Constant):
+            return shape.value == 0
+        if isinstance(shape, ast.Tuple):
+            return any(
+                isinstance(e, ast.Constant) and e.value == 0
+                for e in shape.elts
+            )
+        return False
+
+    def _check_empty(self, node: ast.Call) -> None:
+        """SAN301: unpoisoned ``np.empty`` / ``np.empty_like``."""
+        func = node.func
+        if not (
+            isinstance(func, ast.Attribute)
+            and func.attr in ("empty", "empty_like")
+            and isinstance(func.value, ast.Name)
+            and func.value.id in ("np", "numpy")
+        ):
+            return
+        shape = node.args[0] if node.args else None
+        for kw in node.keywords:
+            if kw.arg == "shape":
+                shape = kw.value
+        if func.attr == "empty" and self._zero_size(shape):
+            return  # empty sentinel: no readable memory to poison
+        self._emit(
+            node,
+            "SAN301",
+            f"np.{func.attr} hands out unpoisoned memory: a missed "
+            "initialization is silently read as stale garbage; use "
+            "sanitizer.memcheck.san_empty so SimCheck traps "
+            "uninitialized reads",
+        )
+
+    def _check_narrowing_cast(self, node: ast.Call) -> None:
+        """SAN303: ``.astype(<narrower dtype>)``."""
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr == "astype"):
+            return
+        dtype = _dtype_name(node.args[0]) if node.args else None
+        for kw in node.keywords:
+            if kw.arg == "dtype":
+                dtype = _dtype_name(kw.value)
+        if dtype is None or dtype not in _NARROWING_DTYPES:
+            return
+        self._emit(
+            node,
+            "SAN303",
+            f"narrowing astype({dtype}) silently wraps out-of-range "
+            "values; use sanitizer.memcheck.checked_cast to detect "
+            "overflow",
+        )
+
+    @staticmethod
+    def _is_floaty(expr: ast.expr) -> bool:
+        """Expression that plausibly produces a float value."""
+        for n in ast.walk(expr):
+            if isinstance(n, ast.Constant) and isinstance(n.value, float):
+                return True
+            if isinstance(n, ast.BinOp) and isinstance(n.op, ast.Div):
+                return True
+            if isinstance(n, ast.Attribute) and n.attr in (
+                "float64",
+                "float32",
+                "float16",
+                "mean",
+                "average",
+            ):
+                return True
+            if isinstance(n, ast.Name) and n.id == "float":
+                return True
+        return False
+
+    def _check_float_into_int(self, node: ast.AugAssign) -> None:
+        """SAN304: float expression accumulated into an int array."""
+        target = node.target
+        if not isinstance(target, ast.Subscript):
+            return
+        base = _base_name(target.value)
+        if base is None or base not in self.int_arrays:
+            return
+        if not self._is_floaty(node.value):
+            return
+        self._emit(
+            node,
+            "SAN304",
+            f"float expression accumulated into int array {base!r} "
+            "truncates silently; accumulate in a float array or use "
+            "sanitizer.memcheck.checked_sum",
+        )
+
+
+# ----------------------------------------------------------------------
 # entry points
 # ----------------------------------------------------------------------
 
@@ -593,12 +946,16 @@ def lint_source(source: str, path: str = "<string>") -> list[LintFinding]:
             )
         ]
     atomic_names = _collect_atomic_names(tree)
+    trusted_csr = _collect_trusted_csr(tree)
     suppressed = _suppressed_lines(source)
     findings: list[LintFinding] = []
     for worker in _find_workers(tree):
         findings.extend(
-            _WorkerLinter(worker, atomic_names, suppressed, path).run()
+            _WorkerLinter(
+                worker, atomic_names, suppressed, path, trusted_csr
+            ).run()
         )
+    findings.extend(_ModuleLinter(tree, suppressed, path).run())
     findings.sort(key=lambda f: (f.line, f.col, f.code))
     return findings
 

@@ -26,6 +26,7 @@ from repro.search.preprocessing import (
 )
 from repro.search.primary_values import GraphTotals, PrimaryValues
 from repro.search.result import best_finite_index
+from repro.sanitizer.memcheck import san_empty
 
 __all__ = ["BestKResult", "find_best_k"]
 
@@ -139,16 +140,18 @@ def find_best_k(
     with pool.serial_region("bestk:suffix") as ctx:
         ctx.charge(kmax + 1)
 
-    scores = np.empty(kmax + 1, dtype=np.float64)
+    scores = san_empty(kmax + 1, np.float64, name="bks_scores")
 
     def score_level(k: int, ctx) -> None:
-        # each level owns its score slot
-        ctx.write(("bks_scores", int(k)))
         n_, m_, b_, tri, trip = values[k]
-        scores[k] = metric(
+        value = metric(
             PrimaryValues(n=n_, m=m_, b=b_, triangles=tri, triplets=trip),
             totals,
         )
+        # each level owns its score slot; the value rides along so
+        # memcheck can name this kernel as a NaN origin
+        ctx.write(("bks_scores", int(k)), value=value)
+        scores[k] = value
 
     pool.parallel_for(range(kmax + 1), score_level, label="bestk:score")
     best = best_finite_index(scores)

@@ -20,6 +20,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.graph.graph import Graph
+from repro.sanitizer.memcheck import san_empty
 
 __all__ = ["maximum_clique", "is_clique"]
 
@@ -86,7 +87,7 @@ def maximum_clique(graph: Graph, initial_bound: int = 0) -> np.ndarray:
     # Degeneracy order: process vertices by ascending coreness so each
     # root call only explores later, higher-core candidates.
     order = np.lexsort((np.arange(n), coreness))
-    position = np.empty(n, dtype=np.int64)
+    position = san_empty(n, np.int64, name="clique_pos")
     position[order] = np.arange(n)
 
     def expand(clique: list[int], candidates: list[int]) -> None:

@@ -37,6 +37,7 @@ from repro.search.preprocessing import (
 )
 from repro.search.primary_values import GraphTotals, PrimaryValues
 from repro.search.result import SearchResult, best_finite_index
+from repro.sanitizer.memcheck import san_empty
 
 __all__ = ["pbks_search", "pbks_type_a_contributions", "pbks_type_b_contributions"]
 
@@ -244,16 +245,18 @@ def pbks_search(
             pool, hcd.parent, per_node, label="pbks:accum"
         )
 
-    scores = np.empty(t, dtype=np.float64)
+    scores = san_empty(t, np.float64, name="pbks_scores")
 
     def score_node(i: int, ctx) -> None:
-        # each tree node owns its score slot
-        ctx.write(("pbks_scores", int(i)))
         n_, m_, b_, tri, trip = accumulated[i]
-        scores[i] = metric(
+        value = metric(
             PrimaryValues(n=n_, m=m_, b=b_, triangles=tri, triplets=trip),
             totals,
         )
+        # each tree node owns its score slot; the value rides along so
+        # memcheck can name this kernel as a NaN origin
+        ctx.write(("pbks_scores", int(i)), value=value)
+        scores[i] = value
 
     with pool.phase("pbks:score"):
         pool.parallel_for(range(t), score_node, label="pbks:score")

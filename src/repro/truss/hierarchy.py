@@ -32,6 +32,7 @@ from repro.graph.graph import Graph
 from repro.parallel.atomics import AtomicArray, AtomicSet
 from repro.parallel.scheduler import SimulatedPool
 from repro.truss.decomposition import EdgeIndex, truss_decomposition
+from repro.sanitizer.memcheck import san_empty
 from repro.unionfind.pivot import PivotUnionFind
 
 __all__ = ["TrussHierarchy", "truss_hierarchy"]
@@ -180,7 +181,7 @@ def truss_hierarchy(
     tmax = int(trussness.max())
     # edge rank: (trussness, id) — Definition 4 transplanted to edges
     order = np.lexsort((np.arange(m), trussness))
-    rank = np.empty(m, dtype=np.int64)
+    rank = san_empty(m, np.int64, name="truss_rank")
     rank[order] = np.arange(m)
     shells: list[list[int]] = [[] for _ in range(tmax + 1)]
     for eid in range(m):

@@ -98,7 +98,7 @@ def coreness_oracle():
 
 
 # ----------------------------------------------------------------------
-# pytest --sanitize: run the whole suite under the race detector
+# pytest --sanitize / --memcheck: run the suite under the sanitizers
 # ----------------------------------------------------------------------
 
 def pytest_addoption(parser):
@@ -112,20 +112,49 @@ def pytest_addoption(parser):
             "unsynchronized conflicting accesses"
         ),
     )
+    parser.addoption(
+        "--memcheck",
+        action="store_true",
+        default=False,
+        help=(
+            "attach the SimCheck memory sanitizer to every "
+            "SimulatedPool and fail any test whose recorded accesses "
+            "hit poisoned (uninitialized) slots, go out of bounds, or "
+            "overflow a checked cast; composes with --sanitize"
+        ),
+    )
 
 
 def pytest_configure(config):
-    if not config.getoption("--sanitize"):
+    sanitize = config.getoption("--sanitize")
+    memcheck = config.getoption("--memcheck")
+    if not (sanitize or memcheck):
         return
-    from repro.sanitizer.detector import RaceDetector
+    observers = []
+    if sanitize:
+        from repro.sanitizer.detector import RaceDetector
 
-    detector = RaceDetector()
-    config._sanitize_detector = detector
+        detector = RaceDetector()
+        config._sanitize_detector = detector
+        observers.append(detector)
+    if memcheck:
+        from repro.sanitizer.memcheck import MemChecker
+
+        checker = MemChecker()
+        checker.activate()  # san_empty registers suite allocations here
+        config._memcheck_checker = checker
+        observers.append(checker)
+    if len(observers) == 1:
+        observer = observers[0]
+    else:
+        from repro.parallel.observers import ObserverFanout
+
+        observer = ObserverFanout(observers)
     original_init = SimulatedPool.__init__
 
     def instrumented_init(self, *args, **kwargs):
         original_init(self, *args, **kwargs)
-        self.set_observer(detector)
+        self.set_observer(observer)
 
     config._sanitize_original_init = original_init
     SimulatedPool.__init__ = instrumented_init
@@ -135,32 +164,47 @@ def pytest_unconfigure(config):
     original = getattr(config, "_sanitize_original_init", None)
     if original is not None:
         SimulatedPool.__init__ = original
+    checker = getattr(config, "_memcheck_checker", None)
+    if checker is not None:
+        checker.deactivate()
 
 
 @pytest.fixture(autouse=True)
 def _sanitize_guard(request):
-    """Fail any test that produced a new race under ``--sanitize``.
+    """Fail any test that produced a new race or memcheck finding.
 
-    Races in regions labelled ``selftest:*`` are intentional (seeded
-    detector fixtures) and ignored.
+    Races/findings in regions labelled ``selftest:*`` are intentional
+    (seeded sanitizer fixtures) and ignored.  NaN origins are tracking
+    records, not failures.
     """
     detector = getattr(request.config, "_sanitize_detector", None)
-    if detector is None:
+    checker = getattr(request.config, "_memcheck_checker", None)
+    if detector is None and checker is None:
         yield
         return
     from repro.sanitizer.selftest import SELFTEST_PREFIX
 
-    before = len(detector.races)
+    races_before = len(detector.races) if detector else 0
+    findings_before = len(checker.findings) if checker else 0
     yield
-    fresh = [
-        race
-        for race in detector.races[before:]
-        if not race.region.startswith(SELFTEST_PREFIX)
-    ]
-    if fresh:
-        lines = "\n".join(f"  {race}" for race in fresh)
+    problems: list[str] = []
+    if detector is not None:
+        problems += [
+            f"  {race}"
+            for race in detector.races[races_before:]
+            if not race.region.startswith(SELFTEST_PREFIX)
+        ]
+    if checker is not None:
+        problems += [
+            f"  {finding}"
+            for finding in checker.findings[findings_before:]
+            if not finding.region.startswith(SELFTEST_PREFIX)
+            and not finding.name.startswith("selftest")
+        ]
+    if problems:
+        lines = "\n".join(problems)
         pytest.fail(
-            f"SimTSan: {len(fresh)} data race(s) in this test:\n{lines}",
+            f"sanitizer: {len(problems)} finding(s) in this test:\n{lines}",
             pytrace=False,
         )
 
