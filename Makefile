@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check test sanitize memcheck lint profile bench-sanitize bench-profile
+.PHONY: check test sanitize memcheck lint profile bench-sanitize bench-profile serve-bench
 
 ## check: the CI gate — tests, lint, kernel race+memcheck sweep, profiler selftest
 check: test sanitize memcheck profile
@@ -35,3 +35,7 @@ bench-sanitize:
 ## bench-profile: refresh benchmarks/results/BENCH_profile.json
 bench-profile:
 	$(PYTHON) benchmarks/bench_profile.py
+
+## serve-bench: refresh benchmarks/results/BENCH_serve.json (HCDServe replay)
+serve-bench:
+	$(PYTHON) benchmarks/bench_serve.py

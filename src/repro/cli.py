@@ -10,6 +10,7 @@ Subcommands
 ``datasets``   list the built-in dataset stand-ins
 ``sanitize``   SimTSan races + SimCheck memcheck + SAN lint over kernels
 ``profile``    SimProf: span-trace a run, flame summary + trace exports
+``serve``      HCDServe: replay a query trace against a snapshot catalog
 
 Graphs come either from an edge-list file (``--input``) or a built-in
 stand-in (``--dataset AS|LJ|...``).
@@ -215,6 +216,103 @@ def build_parser() -> argparse.ArgumentParser:
         "--selftest",
         action="store_true",
         help="verify the zero-perturbation guarantee on every kernel",
+    )
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="replay a query trace against a served snapshot (HCDServe)",
+        description=(
+            "Build-once/query-many serving: open a snapshot from a "
+            "versioned catalog (optionally building and publishing it "
+            "first from a graph source) and replay a request trace "
+            "through admission control, batched planning, the LRU "
+            "result cache, and shared-pass execution.  Reports latency "
+            "percentiles (in deterministic work units — identical "
+            "across thread counts), throughput, and cache statistics."
+        ),
+    )
+    serve_source = p_serve.add_mutually_exclusive_group()
+    serve_source.add_argument("--input", help="edge-list file (u v per line)")
+    serve_source.add_argument(
+        "--dataset", help="built-in stand-in name or abbreviation (e.g. AS)"
+    )
+    p_serve.add_argument(
+        "--catalog",
+        default=".hcdserve",
+        metavar="DIR",
+        help="snapshot catalog directory (default .hcdserve)",
+    )
+    p_serve.add_argument(
+        "--snapshot",
+        default="default",
+        metavar="NAME",
+        help="snapshot name to serve (default 'default')",
+    )
+    p_serve.add_argument(
+        "--build",
+        action="store_true",
+        help=(
+            "build a snapshot from --input/--dataset and publish it to "
+            "the catalog before serving"
+        ),
+    )
+    p_serve.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="JSON-lines request trace to replay",
+    )
+    p_serve.add_argument(
+        "--synthetic",
+        type=int,
+        default=64,
+        metavar="N",
+        help="without --trace: replay N synthetic requests (default 64)",
+    )
+    p_serve.add_argument(
+        "--seed", type=int, default=0, help="synthetic-trace seed"
+    )
+    p_serve.add_argument(
+        "--threads",
+        type=int,
+        default=4,
+        help="simulated thread count (default 4)",
+    )
+    p_serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=16,
+        help="max queries per execution batch (default 16)",
+    )
+    p_serve.add_argument(
+        "--queue-capacity",
+        type=int,
+        default=64,
+        help="admission queue bound; overflow is shed (default 64)",
+    )
+    p_serve.add_argument(
+        "--cache-capacity",
+        type=int,
+        default=256,
+        help="LRU result-cache entries, 0 disables (default 256)",
+    )
+    p_serve.add_argument(
+        "--per-query",
+        action="store_true",
+        help=(
+            "baseline mode: batch size 1, no shared-pass memoization, "
+            "no result cache (what the serving benchmark compares "
+            "batched execution against)"
+        ),
+    )
+    p_serve.add_argument(
+        "--profile",
+        action="store_true",
+        help="trace the replay with SimProf and print the serve.* phases",
+    )
+    p_serve.add_argument(
+        "--json",
+        metavar="FILE",
+        help="write the full report as JSON to FILE",
     )
     return parser
 
@@ -504,6 +602,133 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.errors import ServeError, WorkloadError
+    from repro.serve import (
+        HCDService,
+        ServiceConfig,
+        SnapshotCatalog,
+        build_snapshot,
+        load_trace,
+        synthetic_trace,
+    )
+
+    if args.threads < 1:
+        print(f"--threads must be >= 1, got {args.threads}", file=sys.stderr)
+        return 2
+
+    catalog = SnapshotCatalog(args.catalog)
+
+    if args.build:
+        if not (args.input or args.dataset):
+            print(
+                "--build needs a graph source (--input or --dataset)",
+                file=sys.stderr,
+            )
+            return 2
+        graph = _load_graph(args)
+        snapshot = build_snapshot(
+            graph,
+            threads=args.threads,
+            name=args.snapshot,
+            source=args.input or args.dataset,
+        )
+        version = catalog.publish(snapshot)
+        print(
+            f"published {args.snapshot!r} v{version} "
+            f"(n={graph.num_vertices}, m={graph.num_edges})"
+        )
+    elif args.input or args.dataset:
+        print(
+            "--input/--dataset only apply with --build; the serve path "
+            "reads the snapshot from the catalog",
+            file=sys.stderr,
+        )
+        return 2
+
+    try:
+        trace = (
+            load_trace(args.trace)
+            if args.trace
+            else synthetic_trace(args.synthetic, seed=args.seed)
+        )
+    except WorkloadError as exc:
+        print(f"bad trace: {exc}", file=sys.stderr)
+        return 2
+
+    if args.per_query:
+        config = ServiceConfig(
+            queue_capacity=args.queue_capacity,
+            max_batch=1,
+            cache_capacity=0,
+            share_passes=False,
+        )
+    else:
+        config = ServiceConfig(
+            queue_capacity=args.queue_capacity,
+            max_batch=args.max_batch,
+            cache_capacity=args.cache_capacity,
+        )
+
+    pool = SimulatedPool(threads=args.threads)
+    tracer = None
+    if args.profile:
+        from repro.profiler import SpanTracer
+
+        tracer = SpanTracer()
+        tracer.attach(pool)
+
+    try:
+        service = HCDService(
+            catalog, args.snapshot, config=config, pool=pool
+        )
+        report = service.serve(trace)
+    except (ServeError, WorkloadError) as exc:
+        print(f"serve failed: {exc}", file=sys.stderr)
+        return 1
+
+    name, version = report.snapshot
+    print(f"snapshot   : {name} v{version}")
+    print(f"requests   : {len(report.records)} "
+          f"(admitted {report.admitted}, shed {report.shed}, "
+          f"invalid {report.invalid})")
+    print(f"answers    : {report.computed} computed, {report.hits} cached, "
+          f"{report.coalesced} coalesced, {report.batches} batch(es)")
+    print(f"latency    : p50={report.p50:.0f} p95={report.p95:.0f} "
+          f"p99={report.p99:.0f} work units")
+    print(f"throughput : {report.throughput:.3f} answers / 1k work units")
+    print(f"clocks     : work_units={report.work_units:.0f} "
+          f"sim_clock={report.sim_clock:.0f} ({args.threads} threads)")
+    cache = report.cache
+    print(f"cache      : {cache['hits']} hit / {cache['misses']} miss "
+          f"(rate {cache['hit_rate']:.2f}), {cache['evictions']} evicted, "
+          f"{cache['size']}/{cache['capacity']} used")
+    histogram = report.histogram()
+    if histogram:
+        print("latency histogram (work units):")
+        for label, count in histogram.items():
+            print(f"  {label:8s} {count}")
+
+    if tracer is not None:
+        from repro.profiler import phase_totals, profile_report
+
+        tracer.detach()
+        totals = phase_totals(
+            profile_report(tracer, pool), prefix="serve."
+        )
+        print("serve phases (simulated elapsed):")
+        for path, elapsed in totals.items():
+            print(f"  {path:24s} {elapsed:12.0f}")
+
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report.as_dict(), handle, indent=2, sort_keys=True)
+        print(f"report written to {args.json}")
+    return 0
+
+
 def _cmd_datasets(_: argparse.Namespace) -> int:
     print(f"{'name':16}{'abbrev':8}description")
     for name in dataset_names():
@@ -521,6 +746,7 @@ _COMMANDS = {
     "datasets": _cmd_datasets,
     "sanitize": _cmd_sanitize,
     "profile": _cmd_profile,
+    "serve": _cmd_serve,
 }
 
 

@@ -318,12 +318,17 @@ class HCD:
     # persistence
     # ------------------------------------------------------------------
 
-    def save(self, path) -> None:
-        """Persist the index with :func:`numpy.savez_compressed`.
+    #: flat-array serialization keys, in :meth:`to_arrays` order
+    ARRAY_KEYS = (
+        "node_coreness", "parent", "tid", "member_offsets", "members"
+    )
 
-        The HCD is the paper's O(n)-space subgraph index; persisting it
-        lets later sessions answer core queries without re-running
-        construction.  Node vertex sets are stored in CSR layout.
+    def to_arrays(self) -> dict[str, np.ndarray]:
+        """Flat-array form of the index (node vertex sets in CSR layout).
+
+        The serving snapshot store embeds these arrays (alongside the
+        graph CSR and precomputed search state) in its versioned
+        bundles; :meth:`save` writes exactly this dictionary.
         """
         offsets = np.zeros(self.num_nodes + 1, dtype=np.int64)
         for node, verts in enumerate(self._node_vertices):
@@ -333,37 +338,80 @@ class HCD:
             if self.num_nodes
             else np.empty(0, dtype=np.int64)
         )
-        np.savez_compressed(
-            path,
-            node_coreness=self.node_coreness,
-            parent=self.parent,
-            tid=self.tid,
-            member_offsets=offsets,
-            members=flat,
+        return {
+            "node_coreness": self.node_coreness,
+            "parent": self.parent,
+            "tid": self.tid,
+            "member_offsets": offsets,
+            "members": flat,
+        }
+
+    @classmethod
+    def from_arrays(cls, arrays: dict) -> "HCD":
+        """Rebuild an index from :meth:`to_arrays` output.
+
+        The arrays are treated as untrusted (they may come off disk):
+        missing keys, a malformed member-offsets CSR, or out-of-range
+        values raise :class:`HierarchyError` naming the offender
+        instead of detonating as a numpy indexing error.
+        """
+        for key in cls.ARRAY_KEYS:
+            if key not in arrays:
+                raise HierarchyError(f"HCD arrays missing {key!r}")
+        node_coreness = np.asarray(arrays["node_coreness"], dtype=np.int64)
+        parent = np.asarray(arrays["parent"], dtype=np.int64)
+        tid = np.asarray(arrays["tid"], dtype=np.int64)
+        offsets = np.asarray(arrays["member_offsets"], dtype=np.int64)
+        members = np.asarray(arrays["members"], dtype=np.int64)
+        t = node_coreness.size
+        if parent.size != t:
+            raise HierarchyError(
+                f"parent has {parent.size} entries for {t} nodes"
+            )
+        if offsets.size != t + 1:
+            raise HierarchyError(
+                f"member_offsets has {offsets.size} entries, expected {t + 1}"
+            )
+        if t and (offsets[0] != 0 or offsets[-1] != members.size):
+            raise HierarchyError(
+                "member_offsets endpoints do not bracket members "
+                f"(got [{int(offsets[0])}, {int(offsets[-1])}] for "
+                f"{members.size} members)"
+            )
+        if np.any(np.diff(offsets) < 0):
+            v = int(np.flatnonzero(np.diff(offsets) < 0)[0])
+            raise HierarchyError(f"member_offsets decreases at node {v}")
+        if parent.size and int(parent.max()) >= t:
+            raise HierarchyError(
+                f"parent id {int(parent.max())} outside [0, {t})"
+            )
+        node_vertices = [
+            members[offsets[i] : offsets[i + 1]] for i in range(t)
+        ]
+        return cls(
+            node_coreness=node_coreness,
+            parent=parent,
+            tid=tid,
+            node_vertices=node_vertices,
         )
+
+    def save(self, path) -> None:
+        """Persist the index with :func:`numpy.savez_compressed`.
+
+        The HCD is the paper's O(n)-space subgraph index; persisting it
+        lets later sessions answer core queries without re-running
+        construction.  Node vertex sets are stored in CSR layout.  The
+        serving layer's versioned snapshot store
+        (:mod:`repro.serve.catalog`) extends this single-file form with
+        manifests, checksums, and atomic publication.
+        """
+        np.savez_compressed(path, **self.to_arrays())
 
     @classmethod
     def load(cls, path) -> "HCD":
         """Reload an index stored with :meth:`save`."""
         with np.load(path) as data:
-            required = (
-                "node_coreness", "parent", "tid", "member_offsets", "members"
-            )
-            for key in required:
-                if key not in data:
-                    raise HierarchyError(f"HCD file missing array {key!r}")
-            offsets = data["member_offsets"]
-            members = data["members"]
-            node_vertices = [
-                members[offsets[i] : offsets[i + 1]]
-                for i in range(offsets.size - 1)
-            ]
-            return cls(
-                node_coreness=data["node_coreness"],
-                parent=data["parent"],
-                tid=data["tid"],
-                node_vertices=node_vertices,
-            )
+            return cls.from_arrays({key: data[key] for key in data})
 
     def __repr__(self) -> str:
         return (

@@ -55,6 +55,7 @@ class DynamicGraph:
         self._coreness = core_decomposition(graph).astype(np.int64)
         self._m = graph.num_edges
         self._hcd_cache: HCD | None = None
+        self._mutations = 0
 
     # ------------------------------------------------------------------
     # accessors
@@ -67,6 +68,11 @@ class DynamicGraph:
     @property
     def num_edges(self) -> int:
         return self._m
+
+    @property
+    def mutation_count(self) -> int:
+        """Edge mutations applied since construction (snapshot lineage)."""
+        return self._mutations
 
     @property
     def coreness(self) -> np.ndarray:
@@ -113,6 +119,7 @@ class DynamicGraph:
         self._adj[v].add(u)
         self._m += 1
         self._hcd_cache = None
+        self._mutations += 1
 
         c = self._coreness
         k = int(min(c[u], c[v]))
@@ -133,6 +140,7 @@ class DynamicGraph:
         self._adj[v].remove(u)
         self._m -= 1
         self._hcd_cache = None
+        self._mutations += 1
 
         c = self._coreness
         k = int(min(c[u], c[v]))

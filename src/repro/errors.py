@@ -42,6 +42,30 @@ class SearchError(ReproError):
     """A subgraph-search computation received invalid input."""
 
 
+class ServeError(ReproError):
+    """The HCDServe serving layer was misused or hit an invalid state."""
+
+
+class SnapshotError(ServeError):
+    """A serving snapshot bundle is missing, corrupted, or incompatible.
+
+    Raised by the snapshot store (:mod:`repro.serve.snapshot`) whenever
+    an on-disk index bundle cannot be trusted: a truncated or unreadable
+    array file, a manifest/checksum mismatch, or a format-version skew.
+    The message always names the offending file or manifest field so a
+    corrupted bundle is a clean input error, never a bare numpy/zipfile
+    exception escaping from deep inside the loader.
+    """
+
+
+class WorkloadError(ServeError):
+    """A serving workload trace or query request is malformed.
+
+    The message names the offending request field (kind, metric, k, r,
+    weights, at) and, for trace files, the line it came from.
+    """
+
+
 class MemcheckError(ReproError):
     """The SimCheck memory sanitizer was misused (bad dtype, bad name)."""
 

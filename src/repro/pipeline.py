@@ -112,6 +112,7 @@ def search_best_core(
     cost_model: CostModel | None = None,
     parallel: bool | None = None,
     pool: SimulatedPool | None = None,
+    deco: DecompositionResult | None = None,
 ) -> tuple[SearchResult, DecompositionResult]:
     """End-to-end best-k-core search from a raw graph.
 
@@ -120,14 +121,39 @@ def search_best_core(
     simulated time is added to the decomposition's ``phase_times``
     under ``'search'`` (and ``'preprocessing'``).  ``pool`` behaves as
     in :func:`decompose`.
+
+    Pass ``deco`` to reuse an existing decomposition instead of
+    recomputing coreness and the HCD — the build-once/query-many path:
+    the serving layer answers every query against one shared
+    :class:`DecompositionResult` (a snapshot's
+    :meth:`~repro.serve.snapshot.Snapshot.decomposition`) and only the
+    search stage runs per call.  ``graph`` must be the decomposed
+    graph; ``threads``/``cost_model`` are ignored in favor of the
+    decomposition's own pool (or ``pool`` when also given).
     """
-    deco = decompose(
-        graph,
-        threads=threads,
-        cost_model=cost_model,
-        parallel=parallel,
-        pool=pool,
-    )
+    if deco is not None:
+        if deco.graph is not graph:
+            raise ValueError(
+                "deco was computed for a different graph object; "
+                "pass the graph the decomposition was built from"
+            )
+        if pool is not None and pool is not deco.pool:
+            deco = DecompositionResult(
+                graph=deco.graph,
+                coreness=deco.coreness,
+                hcd=deco.hcd,
+                rank_result=deco.rank_result,
+                pool=pool,
+                phase_times=dict(deco.phase_times),
+            )
+    else:
+        deco = decompose(
+            graph,
+            threads=threads,
+            cost_model=cost_model,
+            parallel=parallel,
+            pool=pool,
+        )
     pool = deco.pool
     threads = pool.threads
     use_parallel = parallel if parallel is not None else threads > 1

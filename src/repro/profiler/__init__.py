@@ -20,7 +20,12 @@ benchmark harnesses, :func:`selftest` (programmatic gate).
 """
 
 from repro.profiler.export import chrome_trace, write_artifacts
-from repro.profiler.report import flame_summary, phase_table, profile_report
+from repro.profiler.report import (
+    flame_summary,
+    phase_table,
+    phase_totals,
+    profile_report,
+)
 from repro.profiler.selftest import check_kernel, selftest
 from repro.profiler.tracer import Span, SpanTracer
 
@@ -31,6 +36,7 @@ __all__ = [
     "write_artifacts",
     "profile_report",
     "phase_table",
+    "phase_totals",
     "flame_summary",
     "check_kernel",
     "selftest",

@@ -167,6 +167,21 @@ def _bar(fraction: float, width: int = 20) -> str:
     return "#" * filled + "." * (width - filled)
 
 
+def phase_totals(report: dict, prefix: str = "") -> dict[str, float]:
+    """Elapsed simulated time per phase path, optionally prefix-filtered.
+
+    Convenience over :func:`profile_report` output for callers that
+    only care whether (and how long) certain phases ran — e.g. the
+    serving path asserting its ``serve.*`` stages appear in the span
+    tree.  Paths are ``/``-joined phase stacks, insertion-ordered.
+    """
+    return {
+        phase["path"]: phase["elapsed"]
+        for phase in report["phases"]
+        if phase["path"].startswith(prefix)
+    }
+
+
 def phase_table(report: dict) -> str:
     """Per-phase cost-decomposition table from a profile report."""
     clock = report["clock"] or 1.0

@@ -156,6 +156,29 @@ def _kernel_vertex_rank(pool: SimulatedPool) -> None:
     compute_vertex_rank(graph, coreness, pool)
 
 
+def _kernel_serve_batch(pool: SimulatedPool) -> None:
+    from repro.serve.executor import SnapshotExecutor
+    from repro.serve.planner import QueryPlanner, normalize_request
+    from repro.serve.snapshot import build_snapshot
+
+    # the full serving execute path: snapshot build (decomposition +
+    # preprocessing), batched shared passes (type A + B), per-metric
+    # score folds, and the influential-index fold — all in memory
+    graph = powerlaw_cluster(150, 3, 0.3, seed=21)
+    snapshot = build_snapshot(graph, pool=pool, name="sanitize")
+    requests = [
+        {"kind": "pbks", "metric": "internal_density"},
+        {"kind": "pbks", "metric": "clustering_coefficient"},
+        {"kind": "densest"},
+        {"kind": "best_k", "metric": "average_degree"},
+        {"kind": "influential", "k": 2, "r": 2, "weights": "degree"},
+    ]
+    plan = QueryPlanner().plan(
+        [(rid, normalize_request(req)) for rid, req in enumerate(requests)]
+    )
+    SnapshotExecutor(snapshot, pool).execute(plan)
+
+
 #: Registry of named kernels; order is the ``--all-kernels`` run order.
 KERNELS: dict[str, object] = {
     "pkc": _kernel_pkc,
@@ -167,6 +190,7 @@ KERNELS: dict[str, object] = {
     "unionfind_pivot": _kernel_unionfind_pivot,
     "unionfind_waitfree": _kernel_unionfind_waitfree,
     "vertex_rank": _kernel_vertex_rank,
+    "serve_batch": _kernel_serve_batch,
 }
 
 

@@ -28,7 +28,7 @@ from repro.search.primary_values import GraphTotals, PrimaryValues
 from repro.search.result import best_finite_index
 from repro.sanitizer.memcheck import san_empty
 
-__all__ = ["BestKResult", "find_best_k"]
+__all__ = ["BestKResult", "compute_level_values", "find_best_k"]
 
 _N, _M, _B, _TRI, _TRIP = range(5)
 
@@ -44,25 +44,26 @@ class BestKResult:
     values: np.ndarray  # (kmax+1, 5) primary values of every K_k
 
 
-def find_best_k(
+def compute_level_values(
     graph: Graph,
     coreness: np.ndarray,
-    metric: Metric | str,
     pool: SimulatedPool,
     counts: NeighborCorenessCounts | None = None,
     rank_result: VertexRankResult | None = None,
-) -> BestKResult:
-    """Score every k-core set and return the best ``k``.
+    need_type_b: bool = False,
+) -> np.ndarray:
+    """Primary values of every k-core set ``K_k``, as a ``(kmax+1, 5)`` array.
 
-    Contributions are exactly PBKS's, but credited to the coreness
-    level at which the motif appears; a suffix sum over levels then
-    yields every ``K_k``'s primary values in one pass.
+    The shared per-level pass of the best-k extension: per-vertex
+    contributions credited to coreness levels (type A always, type-B
+    motifs when ``need_type_b``) followed by the suffix accumulation
+    from ``kmax`` down.  Like :func:`~repro.search.pbks.pbks_node_values`
+    this is the pass the serving layer computes once per snapshot and
+    shares across metric folds; the type-A columns are bit-identical
+    with or without the type-B pass (disjoint columns).
     """
-    if isinstance(metric, str):
-        metric = get_metric(metric)
     coreness = np.asarray(coreness, dtype=np.int64)
     n = graph.num_vertices
-    totals = GraphTotals.of(graph)
     kmax = int(coreness.max()) if n else 0
     if counts is None:
         counts = preprocess_neighbor_counts(graph, coreness, pool)
@@ -84,7 +85,7 @@ def find_best_k(
         range(n), contribute_a, label="bestk:typeA", chunking="dynamic", grain=32
     )
 
-    if metric.kind == "B":
+    if need_type_b:
         if rank_result is None:
             rank_result = compute_vertex_rank(graph, coreness, pool)
         ranks = rank_result.rank
@@ -139,6 +140,37 @@ def find_best_k(
     values = np.cumsum(per_level[::-1], axis=0)[::-1].copy()
     with pool.serial_region("bestk:suffix") as ctx:
         ctx.charge(kmax + 1)
+    return values
+
+
+def find_best_k(
+    graph: Graph,
+    coreness: np.ndarray,
+    metric: Metric | str,
+    pool: SimulatedPool,
+    counts: NeighborCorenessCounts | None = None,
+    rank_result: VertexRankResult | None = None,
+) -> BestKResult:
+    """Score every k-core set and return the best ``k``.
+
+    Contributions are exactly PBKS's, but credited to the coreness
+    level at which the motif appears; a suffix sum over levels then
+    yields every ``K_k``'s primary values in one pass.
+    """
+    if isinstance(metric, str):
+        metric = get_metric(metric)
+    coreness = np.asarray(coreness, dtype=np.int64)
+    n = graph.num_vertices
+    totals = GraphTotals.of(graph)
+    kmax = int(coreness.max()) if n else 0
+    values = compute_level_values(
+        graph,
+        coreness,
+        pool,
+        counts=counts,
+        rank_result=rank_result,
+        need_type_b=metric.kind == "B",
+    )
 
     scores = san_empty(kmax + 1, np.float64, name="bks_scores")
 

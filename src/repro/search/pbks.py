@@ -39,7 +39,12 @@ from repro.search.primary_values import GraphTotals, PrimaryValues
 from repro.search.result import SearchResult, best_finite_index
 from repro.sanitizer.memcheck import san_empty
 
-__all__ = ["pbks_search", "pbks_type_a_contributions", "pbks_type_b_contributions"]
+__all__ = [
+    "pbks_search",
+    "pbks_node_values",
+    "pbks_type_a_contributions",
+    "pbks_type_b_contributions",
+]
 
 # column order of the values matrix
 _N, _M, _B, _TRI, _TRIP = range(5)
@@ -183,6 +188,60 @@ def pbks_type_b_contributions(
     )
 
 
+def pbks_node_values(
+    graph: Graph,
+    coreness: np.ndarray,
+    hcd: HCD,
+    pool: SimulatedPool,
+    counts: NeighborCorenessCounts | None = None,
+    rank_result: VertexRankResult | None = None,
+    need_type_b: bool = False,
+) -> np.ndarray:
+    """Accumulated primary values of every tree node's original k-core.
+
+    The shared hierarchy traversal of Algorithm 3: per-vertex
+    contributions (type A, plus the type-B motifs when
+    ``need_type_b``) followed by the bottom-up tree accumulation.
+    Returns a ``(|T|, 5)`` array in ``(n, m, b, tri, trip)`` column
+    order.  This is the pass the serving layer's batched executor runs
+    *once* per snapshot and shares across every metric fold — the
+    type-A columns are bit-identical whether or not the type-B pass
+    runs, since the motif families write disjoint columns.
+    """
+    coreness = np.asarray(coreness, dtype=np.int64)
+    t = hcd.num_nodes
+    if t == 0:
+        return np.empty((0, 5))
+    if counts is None:
+        counts = preprocess_neighbor_counts(graph, coreness, pool)
+    contributions = AtomicArray(t * 5, dtype=np.float64, name="pbks_vals")
+    with pool.phase("pbks:typeA"):
+        pbks_type_a_contributions(
+            graph, coreness, hcd, counts, pool, contributions, t
+        )
+    if need_type_b:
+        if rank_result is None:
+            from repro.core.vertex_rank import compute_vertex_rank
+
+            rank_result = compute_vertex_rank(graph, coreness, pool)
+        with pool.phase("pbks:typeB"):
+            pbks_type_b_contributions(
+                graph,
+                coreness,
+                hcd,
+                counts,
+                rank_result.rank,
+                pool,
+                contributions,
+                t,
+            )
+    per_node = contributions.data.reshape(t, 5)
+    with pool.phase("pbks:accumulate"):
+        return tree_accumulate(
+            pool, hcd.parent, per_node, label="pbks:accum"
+        )
+
+
 def pbks_search(
     graph: Graph,
     coreness: np.ndarray,
@@ -214,36 +273,15 @@ def pbks_search(
             values=np.empty((0, 5)),
             hcd=hcd,
         )
-    if counts is None:
-        counts = preprocess_neighbor_counts(graph, coreness, pool)
-
-    contributions = AtomicArray(t * 5, dtype=np.float64, name="pbks_vals")
-    with pool.phase("pbks:typeA"):
-        pbks_type_a_contributions(
-            graph, coreness, hcd, counts, pool, contributions, t
-        )
-    if metric.kind == "B":
-        if rank_result is None:
-            from repro.core.vertex_rank import compute_vertex_rank
-
-            rank_result = compute_vertex_rank(graph, coreness, pool)
-        with pool.phase("pbks:typeB"):
-            pbks_type_b_contributions(
-                graph,
-                coreness,
-                hcd,
-                counts,
-                rank_result.rank,
-                pool,
-                contributions,
-                t,
-            )
-
-    per_node = contributions.data.reshape(t, 5)
-    with pool.phase("pbks:accumulate"):
-        accumulated = tree_accumulate(
-            pool, hcd.parent, per_node, label="pbks:accum"
-        )
+    accumulated = pbks_node_values(
+        graph,
+        coreness,
+        hcd,
+        pool,
+        counts=counts,
+        rank_result=rank_result,
+        need_type_b=metric.kind == "B",
+    )
 
     scores = san_empty(t, np.float64, name="pbks_scores")
 

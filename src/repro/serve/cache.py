@@ -1,0 +1,110 @@
+"""LRU result cache for the serving layer.
+
+Entries are keyed on ``(snapshot version id, query fingerprint)`` —
+the version id being the catalog's ``(name, version)`` pair — so a
+refreshed snapshot *implicitly* invalidates every cached result of the
+old build: the new version's keys can never collide with them, and the
+stale entries age out of the LRU order naturally.  Hit / miss /
+eviction counters feed the service report and the serving benchmark.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+__all__ = ["CacheStats", "ResultCache"]
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Counter snapshot of a :class:`ResultCache`."""
+
+    hits: int
+    misses: int
+    evictions: int
+    puts: int
+    size: int
+    capacity: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over probes (0.0 when never probed)."""
+        probes = self.hits + self.misses
+        return self.hits / probes if probes else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "puts": self.puts,
+            "size": self.size,
+            "capacity": self.capacity,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class ResultCache:
+    """A bounded LRU mapping of query keys to query results.
+
+    ``capacity=0`` disables caching entirely (every probe misses, puts
+    are dropped) — the per-query baseline mode of the serving bench.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = int(capacity)
+        self._entries: OrderedDict[object, object] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._puts = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._entries
+
+    def get(self, key: object):
+        """Return the cached value or ``None``; counts the probe."""
+        if key in self._entries:
+            self._hits += 1
+            self._entries.move_to_end(key)
+            return self._entries[key]
+        self._misses += 1
+        return None
+
+    def put(self, key: object, value: object) -> None:
+        """Insert (or refresh) an entry, evicting the LRU tail if full."""
+        if self.capacity == 0:
+            return
+        self._puts += 1
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self._entries[key] = value
+            return
+        if len(self._entries) >= self.capacity:
+            self._entries.popitem(last=False)
+            self._evictions += 1
+        self._entries[key] = value
+
+    def stats(self) -> CacheStats:
+        """Current counters."""
+        return CacheStats(
+            hits=self._hits,
+            misses=self._misses,
+            evictions=self._evictions,
+            puts=self._puts,
+            size=len(self._entries),
+            capacity=self.capacity,
+        )
+
+    def __repr__(self) -> str:
+        s = self.stats()
+        return (
+            f"ResultCache(size={s.size}/{s.capacity}, hits={s.hits}, "
+            f"misses={s.misses}, evictions={s.evictions})"
+        )

@@ -1,0 +1,168 @@
+"""Snapshot catalog: versioned, atomically-published bundle store.
+
+A catalog is a directory tree mapping snapshot *names* to monotonically
+increasing integer *versions*::
+
+    <root>/<name>/v00000001/{manifest.json, arrays.npz}
+    <root>/<name>/v00000002/{...}
+
+Publication is **atomic write-rename**: the bundle is first written
+whole into a hidden stage directory (``.stage-v...``) under the same
+name, then :func:`os.replace`-renamed into its final ``v%08d`` slot.
+Readers either see a complete bundle or none at all; a crash mid-write
+leaves only a stage directory, which the next publish sweeps away.
+Versions are never mutated in place — an incremental refresh (e.g. the
+dynamic-graph feed) publishes a *new* version, and result-cache entries
+keyed on the old ``(name, version)`` pair can simply never be returned
+for the new one.
+
+Staleness detection is a directory scan: a service holding version
+``v`` asks :meth:`SnapshotCatalog.is_stale` whether some ``v' > v``
+has been published and reopens if so.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import shutil
+from pathlib import Path
+
+from repro.errors import SnapshotError
+from repro.serve.snapshot import MANIFEST_FILE, Snapshot
+
+__all__ = ["SnapshotCatalog"]
+
+_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+_VERSION_RE = re.compile(r"^v(\d{8})$")
+_STAGE_PREFIX = ".stage-"
+
+
+def _check_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise SnapshotError(
+            f"invalid snapshot name {name!r}: use letters, digits, "
+            f"'.', '_', '-' (must not start with '.')"
+        )
+    return name
+
+
+class SnapshotCatalog:
+    """Open-by-name access to a directory of versioned snapshot bundles."""
+
+    def __init__(self, root: str | os.PathLike[str]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # enumeration
+    # ------------------------------------------------------------------
+
+    def names(self) -> list[str]:
+        """Snapshot names with at least one published version, sorted."""
+        out = []
+        for entry in sorted(self.root.iterdir()):
+            if entry.is_dir() and _NAME_RE.match(entry.name):
+                if self.versions(entry.name):
+                    out.append(entry.name)
+        return out
+
+    def versions(self, name: str) -> list[int]:
+        """Published versions of ``name``, ascending (empty if none)."""
+        _check_name(name)
+        base = self.root / name
+        if not base.is_dir():
+            return []
+        found = []
+        for entry in base.iterdir():
+            match = _VERSION_RE.match(entry.name)
+            if match and entry.is_dir() and (entry / MANIFEST_FILE).exists():
+                found.append(int(match.group(1)))
+        return sorted(found)
+
+    def latest_version(self, name: str) -> int | None:
+        """Newest published version of ``name``, or ``None``."""
+        versions = self.versions(name)
+        return versions[-1] if versions else None
+
+    def is_stale(self, name: str, version: int) -> bool:
+        """Whether a newer version than ``version`` has been published."""
+        latest = self.latest_version(name)
+        return latest is not None and latest > int(version)
+
+    def path(self, name: str, version: int) -> Path:
+        """Bundle directory of ``name`` at ``version``."""
+        _check_name(name)
+        return self.root / name / f"v{int(version):08d}"
+
+    # ------------------------------------------------------------------
+    # publish / open
+    # ------------------------------------------------------------------
+
+    def publish(self, snapshot: Snapshot, name: str | None = None) -> int:
+        """Write ``snapshot`` as the next version of ``name``; return it.
+
+        The bundle is staged under a hidden directory and renamed into
+        place, so concurrent readers never observe a half-written
+        version.  Stale stage directories from crashed publishes are
+        removed first.
+        """
+        name = _check_name(name or snapshot.name)
+        base = self.root / name
+        base.mkdir(parents=True, exist_ok=True)
+        for entry in base.iterdir():
+            if entry.name.startswith(_STAGE_PREFIX) and entry.is_dir():
+                shutil.rmtree(entry)
+        version = (self.latest_version(name) or 0) + 1
+        snapshot.name = name
+        snapshot.version = version
+        stage = base / f"{_STAGE_PREFIX}v{version:08d}"
+        snapshot.save(stage)
+        final = self.path(name, version)
+        while True:
+            try:
+                os.replace(stage, final)
+                break
+            except OSError:
+                if not final.exists():
+                    raise
+                # another publisher claimed the slot; take the next one
+                version += 1
+                snapshot.version = version
+                next_stage = base / f"{_STAGE_PREFIX}v{version:08d}"
+                snapshot.save(next_stage)
+                shutil.rmtree(stage)
+                stage = next_stage
+                final = self.path(name, version)
+        return version
+
+    def open(self, name: str, version: int | None = None) -> Snapshot:
+        """Load ``name`` at ``version`` (default: the latest).
+
+        Raises :class:`SnapshotError` when the name or version does not
+        exist, or when the bundle fails validation.
+        """
+        _check_name(name)
+        if version is None:
+            version = self.latest_version(name)
+            if version is None:
+                known = ", ".join(self.names()) or "<none>"
+                raise SnapshotError(
+                    f"no published snapshot named {name!r} in {self.root} "
+                    f"(known: {known})"
+                )
+        bundle = self.path(name, version)
+        if not bundle.is_dir():
+            raise SnapshotError(
+                f"snapshot {name!r} has no version {int(version)} in {self.root}"
+            )
+        snapshot = Snapshot.load(bundle)
+        if snapshot.name != name or snapshot.version != int(version):
+            raise SnapshotError(
+                f"manifest identity ({snapshot.name!r} v{snapshot.version}) "
+                f"does not match catalog slot ({name!r} v{int(version)})"
+            )
+        return snapshot
+
+    def __repr__(self) -> str:
+        return f"SnapshotCatalog({str(self.root)!r}, names={self.names()})"

@@ -1,0 +1,189 @@
+"""Query normalization, fingerprinting, dedup, and batch planning.
+
+Requests arrive as loose dictionaries (a workload trace line, a CLI
+flag set).  The planner turns each into a canonical immutable
+:class:`Query`, derives its **fingerprint** (the cache-key component),
+coalesces identical in-flight queries, and groups the distinct ones by
+the *shared pass* they can ride on:
+
+* ``node_scores`` — PBKS-style best-core queries.  All of them share
+  one hierarchy traversal (contributions + bottom-up accumulation,
+  :func:`repro.search.pbks.pbks_node_values`); each metric then costs
+  only a per-node score fold.  ``densest`` is normalized into this
+  group (PBKS-D *is* PBKS with the average-degree metric), so a
+  densest request and an equivalent pbks request dedupe.
+* ``level_scores`` — best-k queries over k-core sets, sharing the
+  per-level pass (:func:`repro.search.best_k.compute_level_values`).
+* ``influential`` — top-r influential-community queries, grouped by
+  weight specification; each group shares one
+  :class:`~repro.search.influential.InfluentialCommunityIndex` build,
+  after which every ``(k, r)`` pair is an index-only fold.
+
+A group needs the type-B motif pass only if some member metric is
+type B; type-A columns are bit-identical either way, so batching can
+never change an answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.errors import WorkloadError
+from repro.search.metrics import get_metric
+
+__all__ = [
+    "Query",
+    "BatchPlan",
+    "QueryPlanner",
+    "WEIGHT_SPECS",
+    "normalize_request",
+]
+
+#: deterministic per-vertex weight specifications for influential queries
+WEIGHT_SPECS = ("degree", "coreness", "uniform")
+
+_KIND_ALIASES = {
+    "pbks": "pbks",
+    "search": "pbks",
+    "best_core": "pbks",
+    "densest": "densest",
+    "best_k": "best_k",
+    "bestk": "best_k",
+    "influential": "influential",
+}
+
+
+@dataclass(frozen=True)
+class Query:
+    """One normalized query; hashable, orderable, fingerprintable."""
+
+    kind: str                 # "pbks" | "best_k" | "influential"
+    metric: str = ""          # pbks / best_k
+    k: int = 0                # influential
+    r: int = 0                # influential
+    weights: str = ""         # influential
+
+    @property
+    def fingerprint(self) -> str:
+        """Canonical identity string — the cache-key component."""
+        if self.kind == "influential":
+            return f"influential k={self.k} r={self.r} weights={self.weights}"
+        return f"{self.kind} metric={self.metric}"
+
+    @property
+    def needs_type_b(self) -> bool:
+        """Whether this query requires the type-B motif pass."""
+        if self.kind in ("pbks", "best_k"):
+            return get_metric(self.metric).kind == "B"
+        return False
+
+
+def normalize_request(request: Mapping, where: str = "request") -> Query:
+    """Canonicalize a raw request mapping into a :class:`Query`.
+
+    Raises :class:`~repro.errors.WorkloadError` naming the offending
+    field (and ``where``, e.g. a trace line) on anything malformed.
+    """
+    if not isinstance(request, Mapping):
+        raise WorkloadError(f"{where}: request must be an object, got {type(request).__name__}")
+    raw_kind = request.get("kind")
+    if not isinstance(raw_kind, str) or raw_kind not in _KIND_ALIASES:
+        raise WorkloadError(
+            f"{where}: field 'kind' must be one of "
+            f"{sorted(set(_KIND_ALIASES))}, got {raw_kind!r}"
+        )
+    kind = _KIND_ALIASES[raw_kind]
+    if kind == "densest":
+        # PBKS-D is PBKS under average_degree; normalizing here makes a
+        # densest request and the equivalent pbks request coalesce.
+        if "metric" in request and request["metric"] != "average_degree":
+            raise WorkloadError(
+                f"{where}: field 'metric' is not accepted for kind 'densest'"
+            )
+        return Query(kind="pbks", metric="average_degree")
+    if kind in ("pbks", "best_k"):
+        metric = request.get("metric", "average_degree")
+        try:
+            metric = get_metric(metric).name
+        except Exception:
+            raise WorkloadError(
+                f"{where}: field 'metric' names no registered metric: {metric!r}"
+            ) from None
+        return Query(kind=kind, metric=metric)
+    # influential
+    k = request.get("k", 1)
+    r = request.get("r", 1)
+    weights = request.get("weights", "degree")
+    if not isinstance(k, int) or isinstance(k, bool) or k < 1:
+        raise WorkloadError(f"{where}: field 'k' must be an integer >= 1, got {k!r}")
+    if not isinstance(r, int) or isinstance(r, bool) or r < 1:
+        raise WorkloadError(f"{where}: field 'r' must be an integer >= 1, got {r!r}")
+    if weights not in WEIGHT_SPECS:
+        raise WorkloadError(
+            f"{where}: field 'weights' must be one of {list(WEIGHT_SPECS)}, "
+            f"got {weights!r}"
+        )
+    return Query(kind="influential", k=int(k), r=int(r), weights=str(weights))
+
+
+@dataclass
+class BatchPlan:
+    """Execution plan for one batch of coalesced queries.
+
+    ``queries`` maps fingerprint to the distinct :class:`Query`;
+    ``requesters`` maps fingerprint to the request ids riding on it
+    (length > 1 means in-flight dedup coalesced identical queries).
+    The group fields are the executor's work list.
+    """
+
+    queries: dict[str, Query] = field(default_factory=dict)
+    requesters: dict[str, list[int]] = field(default_factory=dict)
+    node_metrics: list[str] = field(default_factory=list)
+    level_metrics: list[str] = field(default_factory=list)
+    influential: dict[str, list[tuple[int, int]]] = field(default_factory=dict)
+    node_need_b: bool = False
+    level_need_b: bool = False
+
+    @property
+    def distinct(self) -> int:
+        """Number of distinct queries after coalescing."""
+        return len(self.queries)
+
+    @property
+    def coalesced(self) -> int:
+        """Requests answered by another identical in-flight query."""
+        return sum(len(rids) - 1 for rids in self.requesters.values())
+
+    def is_empty(self) -> bool:
+        return not self.queries
+
+
+class QueryPlanner:
+    """Stateless planner: normalized queries in, batch plan out."""
+
+    def plan(self, batch: list[tuple[int, Query]]) -> BatchPlan:
+        """Coalesce and group a batch of ``(request id, query)`` pairs.
+
+        Order within each group follows first appearance in the batch,
+        so planning is deterministic for a deterministic workload.
+        """
+        plan = BatchPlan()
+        for rid, query in batch:
+            fp = query.fingerprint
+            if fp in plan.queries:
+                plan.requesters[fp].append(rid)
+                continue
+            plan.queries[fp] = query
+            plan.requesters[fp] = [rid]
+            if query.kind == "pbks":
+                plan.node_metrics.append(query.metric)
+                plan.node_need_b = plan.node_need_b or query.needs_type_b
+            elif query.kind == "best_k":
+                plan.level_metrics.append(query.metric)
+                plan.level_need_b = plan.level_need_b or query.needs_type_b
+            else:
+                plan.influential.setdefault(query.weights, []).append(
+                    (query.k, query.r)
+                )
+        return plan

@@ -1,0 +1,568 @@
+"""The HCDServe service loop: trace in, latency report out.
+
+The service replays a *request trace* — a list of query requests with
+simulated arrival times — through the full serving path::
+
+    admit (bounded queue, load shedding)
+      -> plan (normalize, dedup, batch)
+        -> cache probe (LRU, keyed on snapshot version + fingerprint)
+          -> execute (batched shared passes on the snapshot)
+
+and reports per-request latency percentiles, a latency histogram,
+throughput, and cache statistics.
+
+Two clocks
+----------
+The pool's simulated clock (``pool.clock``) includes spawn, barrier,
+and contention costs and therefore **depends on the thread count** —
+it is the right clock for speedup questions (batched vs per-query,
+1 vs 8 threads) and is reported as ``sim_clock``.  Request latencies,
+however, must make the replay *reproducible across thread counts*
+(the determinism acceptance bar), so the service timeline advances in
+**work units**: the sum of per-item charges plus atomic operations of
+every region executed on the service's behalf.  Work units are
+partition-independent — every item runs exactly once with identical
+charges no matter how the pool slices it — so the latency histogram
+and cache stats are bit-identical at ``-p 1/2/4/8``.
+
+All four stages run under SimProf-visible phases ``serve.admit``,
+``serve.plan``, ``serve.cache``, ``serve.execute``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.parallel.scheduler import SimulatedPool
+from repro.serve.cache import ResultCache
+from repro.serve.catalog import SnapshotCatalog
+from repro.serve.executor import QueryResult, SnapshotExecutor
+from repro.serve.planner import QueryPlanner, normalize_request
+from repro.serve.snapshot import snapshot_from_dynamic
+
+__all__ = [
+    "ServiceConfig",
+    "RequestRecord",
+    "ServiceReport",
+    "HCDService",
+    "DynamicServingFeed",
+    "synthetic_trace",
+    "load_trace",
+    "save_trace",
+]
+
+
+# ----------------------------------------------------------------------
+# configuration and records
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunable knobs of the serving loop.
+
+    The ``*_cost`` fields are per-item work-unit charges for the
+    bookkeeping stages, so admission control and cache probes show up
+    in latencies (and in SimProf) instead of being free.
+    """
+
+    queue_capacity: int = 64
+    max_batch: int = 16
+    cache_capacity: int = 256
+    share_passes: bool = True
+    admit_cost: int = 1
+    plan_cost: int = 2
+    probe_cost: int = 1
+
+    def __post_init__(self) -> None:
+        if self.queue_capacity < 1:
+            raise ValueError("queue_capacity must be >= 1")
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if self.cache_capacity < 0:
+            raise ValueError("cache_capacity must be >= 0")
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """Outcome of one trace request."""
+
+    rid: int
+    fingerprint: str   # "" for shed/invalid requests
+    status: str        # "ok" | "hit" | "shed" | "invalid"
+    arrival: float     # work-unit timestamp from the trace
+    latency: float     # completion - arrival, in work units (0 if shed)
+    batch: int         # batch index that answered it (-1 if never batched)
+
+    def as_dict(self) -> dict:
+        return {
+            "rid": self.rid,
+            "fingerprint": self.fingerprint,
+            "status": self.status,
+            "arrival": self.arrival,
+            "latency": self.latency,
+            "batch": self.batch,
+        }
+
+
+def _percentile(latencies: list[float], q: float) -> float:
+    """Nearest-rank percentile (deterministic, no interpolation)."""
+    if not latencies:
+        return 0.0
+    ordered = sorted(latencies)
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return float(ordered[rank - 1])
+
+
+def _histogram(latencies: list[float]) -> dict[str, int]:
+    """Power-of-two latency histogram, bucket label -> count."""
+    buckets: dict[str, int] = {}
+    for latency in latencies:
+        if latency <= 1.0:
+            label = "<=1"
+        else:
+            label = f"<=2^{int(math.ceil(math.log2(latency)))}"
+        buckets[label] = buckets.get(label, 0) + 1
+
+    def order(item: tuple[str, int]) -> int:
+        return 0 if item[0] == "<=1" else int(item[0][4:])
+
+    return dict(sorted(buckets.items(), key=order))
+
+
+@dataclass
+class ServiceReport:
+    """Everything one trace replay produced."""
+
+    snapshot: tuple[str, int]
+    threads: int
+    records: list[RequestRecord] = field(default_factory=list)
+    admitted: int = 0
+    shed: int = 0
+    invalid: int = 0
+    hits: int = 0
+    computed: int = 0
+    coalesced: int = 0
+    batches: int = 0
+    work_units: float = 0.0    # thread-count-independent service clock
+    sim_clock: float = 0.0     # pool clock consumed (p-dependent)
+    cache: dict = field(default_factory=dict)
+
+    @property
+    def latencies(self) -> list[float]:
+        """Latencies of every answered request, in trace order."""
+        return [
+            r.latency for r in self.records if r.status in ("ok", "hit")
+        ]
+
+    @property
+    def p50(self) -> float:
+        return _percentile(self.latencies, 50)
+
+    @property
+    def p95(self) -> float:
+        return _percentile(self.latencies, 95)
+
+    @property
+    def p99(self) -> float:
+        return _percentile(self.latencies, 99)
+
+    @property
+    def throughput(self) -> float:
+        """Answered requests per 1000 simulated work units."""
+        if self.work_units <= 0:
+            return 0.0
+        return 1000.0 * (self.admitted - self.invalid) / self.work_units
+
+    def histogram(self) -> dict[str, int]:
+        return _histogram(self.latencies)
+
+    def as_dict(self) -> dict:
+        """JSON-ready summary (the deterministic replay signature)."""
+        return {
+            "snapshot": {"name": self.snapshot[0], "version": self.snapshot[1]},
+            "threads": self.threads,
+            "requests": len(self.records),
+            "admitted": self.admitted,
+            "shed": self.shed,
+            "invalid": self.invalid,
+            "hits": self.hits,
+            "computed": self.computed,
+            "coalesced": self.coalesced,
+            "batches": self.batches,
+            "latency": {
+                "p50": self.p50,
+                "p95": self.p95,
+                "p99": self.p99,
+                "histogram": self.histogram(),
+            },
+            "throughput": self.throughput,
+            "work_units": self.work_units,
+            "sim_clock": self.sim_clock,
+            "cache": dict(self.cache),
+        }
+
+
+# ----------------------------------------------------------------------
+# the service
+# ----------------------------------------------------------------------
+
+
+class HCDService:
+    """Build-once/query-many serving of one named snapshot.
+
+    Opens the latest published version of ``name`` from the catalog;
+    :meth:`refresh` reopens when the catalog has a newer version (the
+    result cache needs no flush — its keys embed the version).
+    """
+
+    def __init__(
+        self,
+        catalog: SnapshotCatalog,
+        name: str,
+        threads: int = 4,
+        config: ServiceConfig | None = None,
+        pool: SimulatedPool | None = None,
+    ) -> None:
+        self.catalog = catalog
+        self.name = name
+        self.config = config or ServiceConfig()
+        self.pool = pool or SimulatedPool(threads=threads)
+        self.planner = QueryPlanner()
+        self.cache = ResultCache(self.config.cache_capacity)
+        self.snapshot = catalog.open(name)
+        self.executor = SnapshotExecutor(
+            self.snapshot, self.pool, share_passes=self.config.share_passes
+        )
+
+    # ------------------------------------------------------------------
+
+    def refresh(self) -> bool:
+        """Reopen the snapshot if the catalog has a newer version.
+
+        Returns whether a newer version was loaded.  Cached results of
+        the old version stay in the LRU but can never be returned —
+        their keys carry the old ``(name, version)`` pair.
+        """
+        if not self.catalog.is_stale(self.name, self.snapshot.version):
+            return False
+        self.snapshot = self.catalog.open(self.name)
+        self.executor = SnapshotExecutor(
+            self.snapshot, self.pool, share_passes=self.config.share_passes
+        )
+        return True
+
+    def _cache_key(self, fingerprint: str) -> tuple:
+        return (self.snapshot.version_id, fingerprint)
+
+    # ------------------------------------------------------------------
+
+    def serve(self, trace: list[dict], refresh: bool = True) -> ServiceReport:
+        """Replay a request trace and report latencies and cache stats.
+
+        ``trace`` entries are mappings with an ``arrival`` work-unit
+        timestamp plus the query fields of
+        :func:`~repro.serve.planner.normalize_request`.  Arrivals must
+        be non-decreasing (:class:`WorkloadError` otherwise).
+        """
+        if refresh:
+            self.refresh()
+        config = self.config
+        pool = self.pool
+        pending: deque[tuple[int, float, dict]] = deque()
+        last_arrival = float("-inf")
+        for rid, entry in enumerate(trace):
+            if not isinstance(entry, dict):
+                raise WorkloadError(
+                    f"trace[{rid}]: entry must be an object, "
+                    f"got {type(entry).__name__}"
+                )
+            arrival = entry.get("arrival", 0)
+            if not isinstance(arrival, (int, float)) or isinstance(arrival, bool):
+                raise WorkloadError(
+                    f"trace[{rid}]: field 'arrival' must be a number, "
+                    f"got {arrival!r}"
+                )
+            arrival = float(arrival)
+            if arrival < last_arrival:
+                raise WorkloadError(
+                    f"trace[{rid}]: field 'arrival' decreased "
+                    f"({arrival} after {last_arrival})"
+                )
+            last_arrival = arrival
+            pending.append((rid, arrival, entry))
+
+        report = ServiceReport(
+            snapshot=self.snapshot.version_id, threads=pool.threads
+        )
+        queue: deque[tuple[int, float, dict]] = deque()
+        clock_mark = pool.mark()
+        region_cursor = len(pool.regions)
+        now = 0.0
+
+        def drain() -> None:
+            """Advance the work-unit clock by regions run since last call."""
+            nonlocal now, region_cursor
+            regions = pool.regions
+            while region_cursor < len(regions):
+                stats = regions[region_cursor]
+                now += stats.work_total + stats.atomic_ops
+                region_cursor += 1
+
+        while pending or queue:
+            # ---- admit ------------------------------------------------
+            if not queue and pending and pending[0][1] > now:
+                # idle service: jump to the next arrival
+                now = pending[0][1]
+            arrivals = []
+            while pending and pending[0][1] <= now:
+                arrivals.append(pending.popleft())
+            if arrivals:
+                with pool.phase("serve.admit"):
+                    with pool.serial_region("serve:admit") as ctx:
+                        ctx.charge(config.admit_cost * len(arrivals))
+                for rid, arrival, entry in arrivals:
+                    if len(queue) >= config.queue_capacity:
+                        report.shed += 1
+                        report.records.append(
+                            RequestRecord(
+                                rid=rid,
+                                fingerprint="",
+                                status="shed",
+                                arrival=arrival,
+                                latency=0.0,
+                                batch=-1,
+                            )
+                        )
+                    else:
+                        queue.append((rid, arrival, entry))
+                drain()
+            if not queue:
+                continue
+
+            # ---- plan -------------------------------------------------
+            batch_id = report.batches
+            report.batches += 1
+            taken = [queue.popleft() for _ in range(min(config.max_batch, len(queue)))]
+            report.admitted += len(taken)
+            normalized = []
+            with pool.phase("serve.plan"):
+                with pool.serial_region("serve:plan") as ctx:
+                    ctx.charge(config.plan_cost * len(taken))
+            for rid, arrival, entry in taken:
+                try:
+                    query = normalize_request(entry, where=f"trace[{rid}]")
+                except WorkloadError:
+                    report.invalid += 1
+                    report.records.append(
+                        RequestRecord(
+                            rid=rid,
+                            fingerprint="",
+                            status="invalid",
+                            arrival=arrival,
+                            latency=0.0,
+                            batch=batch_id,
+                        )
+                    )
+                    continue
+                normalized.append((rid, arrival, query))
+            plan = self.planner.plan([(rid, q) for rid, _, q in normalized])
+            report.coalesced += plan.coalesced
+            drain()
+
+            # ---- cache probe -----------------------------------------
+            hits: dict[str, QueryResult] = {}
+            if not plan.is_empty():
+                with pool.phase("serve.cache"):
+                    with pool.serial_region("serve:cache") as ctx:
+                        ctx.charge(config.probe_cost * plan.distinct)
+                for fingerprint in list(plan.queries):
+                    cached = self.cache.get(self._cache_key(fingerprint))
+                    if cached is not None:
+                        hits[fingerprint] = cached
+                drain()
+
+            # ---- execute ---------------------------------------------
+            misses = {
+                fp: q for fp, q in plan.queries.items() if fp not in hits
+            }
+            computed: dict[str, QueryResult] = {}
+            if misses:
+                miss_plan = self.planner.plan(
+                    [(rid, q) for fp, q in misses.items()
+                     for rid in plan.requesters[fp][:1]]
+                )
+                with pool.phase("serve.execute"):
+                    computed = self.executor.execute(miss_plan)
+                for fingerprint, result in computed.items():
+                    self.cache.put(self._cache_key(fingerprint), result)
+                drain()
+
+            # ---- complete --------------------------------------------
+            completion = now
+            for rid, arrival, query in normalized:
+                fingerprint = query.fingerprint
+                status = "hit" if fingerprint in hits else "ok"
+                if status == "hit":
+                    report.hits += 1
+                else:
+                    report.computed += 1
+                report.records.append(
+                    RequestRecord(
+                        rid=rid,
+                        fingerprint=fingerprint,
+                        status=status,
+                        arrival=arrival,
+                        latency=completion - arrival,
+                        batch=batch_id,
+                    )
+                )
+
+        report.records.sort(key=lambda r: r.rid)
+        report.work_units = now
+        report.sim_clock = pool.elapsed_since(clock_mark)
+        report.cache = self.cache.stats().as_dict()
+        return report
+
+
+# ----------------------------------------------------------------------
+# incremental refresh from a dynamic graph
+# ----------------------------------------------------------------------
+
+
+class DynamicServingFeed:
+    """Bridge a maintained :class:`~repro.dynamic.DynamicGraph` into a catalog.
+
+    Every edge mutation applies the traversal-maintenance update (the
+    coreness array is adjusted, never recomputed) and publishes the
+    refreshed state as a **new snapshot version** under the feed's
+    name.  A service polling :meth:`HCDService.refresh` picks the new
+    version up on its next replay; result-cache entries of the old
+    version are implicitly dead because cache keys embed the version.
+    """
+
+    def __init__(
+        self,
+        dyn,
+        catalog: SnapshotCatalog,
+        name: str,
+        threads: int = 4,
+    ) -> None:
+        self.dyn = dyn
+        self.catalog = catalog
+        self.name = name
+        self.threads = int(threads)
+
+    def publish(self) -> int:
+        """Snapshot the dynamic graph's current state; return the version."""
+        snapshot = snapshot_from_dynamic(
+            self.dyn, threads=self.threads, name=self.name
+        )
+        return self.catalog.publish(snapshot)
+
+    def insert_edge(self, u: int, v: int) -> int:
+        """Apply an edge insertion and publish the refreshed snapshot."""
+        self.dyn.insert_edge(u, v)
+        return self.publish()
+
+    def delete_edge(self, u: int, v: int) -> int:
+        """Apply an edge deletion and publish the refreshed snapshot."""
+        self.dyn.delete_edge(u, v)
+        return self.publish()
+
+
+# ----------------------------------------------------------------------
+# traces
+# ----------------------------------------------------------------------
+
+
+def synthetic_trace(
+    num_requests: int,
+    seed: int = 0,
+    mean_gap: float = 50.0,
+    distinct_metrics: int = 4,
+    burst: int = 4,
+) -> list[dict]:
+    """A deterministic mixed workload trace.
+
+    Arrivals are bursty (geometric gaps between bursts of up to
+    ``burst`` simultaneous requests) and the query mix cycles through
+    PBKS metrics, best-k, densest, and influential queries with enough
+    repetition to exercise the result cache.  Same ``seed`` — same
+    trace, bit for bit.
+    """
+    from repro.search.metrics import metric_names
+
+    if num_requests < 0:
+        raise ValueError("num_requests must be >= 0")
+    rng = np.random.default_rng(seed)
+    metrics = metric_names()[: max(1, distinct_metrics)]
+    trace: list[dict] = []
+    arrival = 0.0
+    remaining_in_burst = 0
+    for i in range(num_requests):
+        if remaining_in_burst == 0:
+            arrival += float(rng.geometric(1.0 / mean_gap))
+            remaining_in_burst = int(rng.integers(1, burst + 1))
+        remaining_in_burst -= 1
+        roll = int(rng.integers(0, 10))
+        if roll < 5:
+            entry = {"kind": "pbks", "metric": metrics[int(rng.integers(0, len(metrics)))]}
+        elif roll < 7:
+            entry = {"kind": "best_k", "metric": metrics[int(rng.integers(0, len(metrics)))]}
+        elif roll < 8:
+            entry = {"kind": "densest"}
+        else:
+            entry = {
+                "kind": "influential",
+                "k": int(rng.integers(1, 4)),
+                "r": int(rng.integers(1, 4)),
+                "weights": ("degree", "coreness", "uniform")[int(rng.integers(0, 3))],
+            }
+        entry["arrival"] = arrival
+        trace.append(entry)
+    return trace
+
+
+def save_trace(trace: list[dict], path: str | os.PathLike[str]) -> None:
+    """Write a trace as JSON lines."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for entry in trace:
+            handle.write(json.dumps(entry, sort_keys=True))
+            handle.write("\n")
+
+
+def load_trace(path: str | os.PathLike[str]) -> list[dict]:
+    """Read a JSON-lines trace; :class:`WorkloadError` on malformed input."""
+    trace: list[dict] = []
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = handle.readlines()
+    except FileNotFoundError:
+        raise WorkloadError(f"trace file not found: {path}") from None
+    except OSError as exc:
+        raise WorkloadError(f"unreadable trace file {path}: {exc}") from exc
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise WorkloadError(
+                f"{path}:{lineno}: not valid JSON: {exc}"
+            ) from exc
+        if not isinstance(entry, dict):
+            raise WorkloadError(
+                f"{path}:{lineno}: trace entry must be an object, "
+                f"got {type(entry).__name__}"
+            )
+        trace.append(entry)
+    return trace

@@ -97,3 +97,52 @@ def test_waitfree_unionfind_identical_across_thread_counts():
         )
         outcomes.append((list(pivots), list(comps)))
     assert all(o == outcomes[0] for o in outcomes[1:])
+
+
+def test_serve_batch_results_identical_across_thread_counts(tmp_path):
+    """Batched serving answers and the whole replay report are
+    bit-identical at every thread count (the HCDServe determinism bar:
+    work-unit latencies, cache stats, and query results may not depend
+    on the work partition)."""
+    from repro.serve import (
+        HCDService,
+        QueryPlanner,
+        SnapshotCatalog,
+        SnapshotExecutor,
+        build_snapshot,
+        normalize_request,
+        synthetic_trace,
+    )
+
+    graph = _graph()
+    catalog = SnapshotCatalog(tmp_path)
+    catalog.publish(build_snapshot(graph, threads=4, name="det"))
+
+    requests = [
+        {"kind": "pbks", "metric": "average_degree"},
+        {"kind": "pbks", "metric": "clustering_coefficient"},
+        {"kind": "densest"},
+        {"kind": "best_k", "metric": "internal_density"},
+        {"kind": "influential", "k": 2, "r": 3, "weights": "coreness"},
+    ]
+    plan = QueryPlanner().plan(
+        [(i, normalize_request(r)) for i, r in enumerate(requests)]
+    )
+    trace = synthetic_trace(48, seed=3)
+
+    batch_results = []
+    replays = []
+    for threads in THREADS:
+        snapshot = catalog.open("det")
+        executor = SnapshotExecutor(snapshot, SimulatedPool(threads=threads))
+        batch_results.append(executor.execute(plan))
+        report = HCDService(catalog, "det", threads=threads).serve(trace)
+        signature = report.as_dict()
+        # the pool clock is the one legitimately thread-dependent field
+        signature.pop("sim_clock")
+        signature.pop("threads")
+        signature["records"] = [r.as_dict() for r in report.records]
+        replays.append(signature)
+
+    assert all(r == batch_results[0] for r in batch_results[1:])
+    assert all(r == replays[0] for r in replays[1:])

@@ -64,3 +64,39 @@ class TestSearchBestCore:
             g, "clustering_coefficient", threads=40, parallel=True
         )
         assert d40.pool.clock < d1.pool.clock
+
+
+class TestDecompositionReuse:
+    """search_best_core(deco=...) reuses one decomposition per snapshot."""
+
+    def test_reuse_matches_fresh_run(self, random_graph):
+        deco = decompose(random_graph, threads=4, parallel=True)
+        reused, deco_back = search_best_core(
+            random_graph, "average_degree", deco=deco, parallel=True
+        )
+        fresh, _ = search_best_core(
+            random_graph, "average_degree", threads=4, parallel=True
+        )
+        assert deco_back is deco
+        assert reused.best_k == fresh.best_k
+        assert reused.best_score == pytest.approx(fresh.best_score)
+
+    def test_reuse_skips_decomposition_work(self, random_graph):
+        deco = decompose(random_graph, threads=4, parallel=True)
+        mark = deco.pool.mark()
+        before = len(deco.pool.regions)
+        search_best_core(
+            random_graph, "average_degree", deco=deco, parallel=True
+        )
+        labels = {r.label for r in deco.pool.regions[before:]}
+        # only preprocessing + search ran — no core-decomposition or
+        # HCD-construction regions were re-executed
+        assert not any(
+            label.startswith(("pkc", "phcd", "rank")) for label in labels
+        ), labels
+        assert deco.pool.elapsed_since(mark) > 0
+
+    def test_reuse_rejects_foreign_graph(self, random_graph, triangle):
+        deco = decompose(random_graph, threads=2)
+        with pytest.raises(ValueError, match="different graph"):
+            search_best_core(triangle, "average_degree", deco=deco)

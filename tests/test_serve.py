@@ -1,0 +1,696 @@
+"""Tests for the HCDServe serving layer (snapshot store -> service loop)."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.decomposition import core_decomposition
+from repro.dynamic import DynamicGraph
+from repro.errors import SnapshotError, WorkloadError
+from repro.graph.generators import powerlaw_cluster
+from repro.parallel.scheduler import SimulatedPool
+from repro.search.best_k import find_best_k
+from repro.search.influential import InfluentialCommunityIndex
+from repro.search.pbks import pbks_search
+from repro.serve import (
+    DynamicServingFeed,
+    HCDService,
+    QueryPlanner,
+    ResultCache,
+    ServiceConfig,
+    Snapshot,
+    SnapshotCatalog,
+    SnapshotExecutor,
+    build_snapshot,
+    load_trace,
+    normalize_request,
+    save_trace,
+    synthetic_trace,
+)
+from repro.serve.snapshot import ARRAYS_FILE, MANIFEST_FILE
+
+
+def _graph():
+    return powerlaw_cluster(90, 3, 0.35, seed=13)
+
+
+@pytest.fixture(scope="module")
+def snapshot():
+    return build_snapshot(_graph(), threads=4, name="base")
+
+
+@pytest.fixture
+def catalog(tmp_path, snapshot):
+    cat = SnapshotCatalog(tmp_path / "catalog")
+    cat.publish(snapshot, name="base")
+    return cat
+
+
+# ----------------------------------------------------------------------
+# snapshot round-trip and corruption (satellite: typed SnapshotError)
+# ----------------------------------------------------------------------
+
+
+class TestSnapshotRoundTrip:
+    def test_save_load_identical(self, tmp_path, snapshot):
+        snapshot.save(tmp_path / "bundle")
+        loaded = Snapshot.load(tmp_path / "bundle")
+        for key, arr in snapshot.arrays().items():
+            assert np.array_equal(arr, loaded.arrays()[key]), key
+        assert loaded.name == snapshot.name
+        assert loaded.build_info == snapshot.build_info
+        # derived shells round-trip through coreness
+        for ours, theirs in zip(
+            snapshot.rank_result.shells, loaded.rank_result.shells
+        ):
+            assert np.array_equal(np.sort(ours), np.sort(theirs))
+
+    def test_loaded_snapshot_serves_same_answers(self, tmp_path, snapshot):
+        snapshot.save(tmp_path / "bundle")
+        loaded = Snapshot.load(tmp_path / "bundle")
+        a = SnapshotExecutor(snapshot, SimulatedPool(threads=2))
+        b = SnapshotExecutor(loaded, SimulatedPool(threads=2))
+        query = normalize_request({"kind": "pbks", "metric": "average_degree"})
+        ra, rb = a.run_query(query), b.run_query(query)
+        assert (ra.best_k, ra.best_score, ra.size) == (
+            rb.best_k,
+            rb.best_score,
+            rb.size,
+        )
+
+
+class TestSnapshotCorruption:
+    @pytest.fixture
+    def bundle(self, tmp_path, snapshot):
+        path = tmp_path / "bundle"
+        snapshot.save(path)
+        return path
+
+    def _edit_manifest(self, bundle, fn):
+        manifest = json.loads((bundle / MANIFEST_FILE).read_text())
+        fn(manifest)
+        (bundle / MANIFEST_FILE).write_text(json.dumps(manifest))
+
+    def _tamper_array(self, bundle, key, new_arr):
+        """Replace one array and refresh its manifest entry (checksum
+        passes; the structural validator must catch it)."""
+        from repro.serve.snapshot import _sha256
+
+        with np.load(bundle / ARRAYS_FILE) as data:
+            raw = {k: data[k] for k in data.files}
+        raw[key] = new_arr
+        np.savez_compressed(bundle / ARRAYS_FILE, **raw)
+        self._edit_manifest(
+            bundle,
+            lambda m: m["arrays"].__setitem__(
+                key,
+                {
+                    "sha256": _sha256(new_arr),
+                    "dtype": str(new_arr.dtype),
+                    "shape": list(new_arr.shape),
+                },
+            ),
+        )
+
+    def test_missing_manifest(self, bundle):
+        (bundle / MANIFEST_FILE).unlink()
+        with pytest.raises(SnapshotError, match="manifest.json"):
+            Snapshot.load(bundle)
+
+    def test_manifest_not_json(self, bundle):
+        (bundle / MANIFEST_FILE).write_text("{not json")
+        with pytest.raises(SnapshotError, match="manifest.json"):
+            Snapshot.load(bundle)
+
+    def test_format_version_skew(self, bundle):
+        self._edit_manifest(
+            bundle, lambda m: m.__setitem__("format", "hcdserve/v0")
+        )
+        with pytest.raises(SnapshotError, match="'format'"):
+            Snapshot.load(bundle)
+
+    def test_missing_manifest_field(self, bundle):
+        self._edit_manifest(bundle, lambda m: m.pop("version"))
+        with pytest.raises(SnapshotError, match="'version'"):
+            Snapshot.load(bundle)
+
+    def test_truncated_npz(self, bundle):
+        blob = (bundle / ARRAYS_FILE).read_bytes()
+        (bundle / ARRAYS_FILE).write_bytes(blob[: len(blob) // 2])
+        with pytest.raises(SnapshotError, match="truncated or unreadable"):
+            Snapshot.load(bundle)
+
+    def test_missing_npz(self, bundle):
+        (bundle / ARRAYS_FILE).unlink()
+        with pytest.raises(SnapshotError, match="arrays.npz"):
+            Snapshot.load(bundle)
+
+    def test_checksum_mismatch_names_array(self, bundle):
+        self._edit_manifest(
+            bundle,
+            lambda m: m["arrays"]["coreness"].__setitem__("sha256", "0" * 64),
+        )
+        with pytest.raises(SnapshotError, match="'coreness'.*checksum"):
+            Snapshot.load(bundle)
+
+    def test_dtype_mismatch_names_array(self, bundle):
+        self._edit_manifest(
+            bundle,
+            lambda m: m["arrays"]["rank"].__setitem__("dtype", "float32"),
+        )
+        with pytest.raises(SnapshotError, match="'rank'.*dtype"):
+            Snapshot.load(bundle)
+
+    def test_shape_mismatch_names_array(self, bundle):
+        self._edit_manifest(
+            bundle,
+            lambda m: m["arrays"]["indices"].__setitem__("shape", [1]),
+        )
+        with pytest.raises(SnapshotError, match="'indices'.*shape"):
+            Snapshot.load(bundle)
+
+    def test_missing_array_entry(self, bundle):
+        with np.load(bundle / ARRAYS_FILE) as data:
+            raw = {k: data[k] for k in data.files}
+        raw.pop("vsort")
+        np.savez_compressed(bundle / ARRAYS_FILE, **raw)
+        with pytest.raises(SnapshotError, match="'vsort'"):
+            Snapshot.load(bundle)
+
+    def test_invalid_csr_is_snapshot_error(self, bundle, snapshot):
+        bad = snapshot.graph.indices.copy()
+        if bad.size:
+            bad[0] = 10**6  # out-of-range neighbor
+        self._tamper_array(bundle, "indices", bad)
+        with pytest.raises(SnapshotError, match="CSR"):
+            Snapshot.load(bundle)
+
+    def test_negative_coreness(self, bundle, snapshot):
+        bad = snapshot.coreness.copy()
+        bad[0] = -3
+        self._tamper_array(bundle, "coreness", bad)
+        with pytest.raises(SnapshotError, match="'coreness'"):
+            Snapshot.load(bundle)
+
+    def test_invalid_hcd_parent(self, bundle, snapshot):
+        bad = snapshot.hcd.parent.copy()
+        bad[0] = 10**6
+        self._tamper_array(bundle, "parent", bad)
+        with pytest.raises(SnapshotError, match="HCD"):
+            Snapshot.load(bundle)
+
+    def test_counts_exceeding_degree(self, bundle, snapshot):
+        bad = np.asarray(snapshot.counts.gt, dtype=np.int64).copy()
+        bad[0] = 10**6
+        self._tamper_array(bundle, "counts_gt", bad)
+        with pytest.raises(SnapshotError, match="degree"):
+            Snapshot.load(bundle)
+
+
+# ----------------------------------------------------------------------
+# catalog
+# ----------------------------------------------------------------------
+
+
+class TestCatalog:
+    def test_publish_assigns_increasing_versions(self, tmp_path, snapshot):
+        cat = SnapshotCatalog(tmp_path)
+        assert cat.publish(snapshot, name="s") == 1
+        assert cat.publish(snapshot, name="s") == 2
+        assert cat.versions("s") == [1, 2]
+        assert cat.latest_version("s") == 2
+
+    def test_open_latest_and_specific(self, catalog):
+        latest = catalog.open("base")
+        assert latest.version == 1
+        assert catalog.open("base", version=1).version == 1
+
+    def test_open_unknown_name_lists_known(self, catalog):
+        with pytest.raises(SnapshotError, match="base"):
+            catalog.open("nope")
+
+    def test_open_unknown_version(self, catalog):
+        with pytest.raises(SnapshotError, match="no version"):
+            catalog.open("base", version=99)
+
+    def test_staleness(self, catalog, snapshot):
+        assert not catalog.is_stale("base", 1)
+        catalog.publish(snapshot, name="base")
+        assert catalog.is_stale("base", 1)
+        assert not catalog.is_stale("base", 2)
+
+    def test_invalid_name_rejected(self, tmp_path, snapshot):
+        cat = SnapshotCatalog(tmp_path)
+        with pytest.raises(SnapshotError, match="invalid snapshot name"):
+            cat.publish(snapshot, name="../evil")
+
+    def test_stage_dirs_never_visible(self, tmp_path, snapshot):
+        cat = SnapshotCatalog(tmp_path)
+        cat.publish(snapshot, name="s")
+        entries = [p.name for p in (tmp_path / "s").iterdir()]
+        assert entries == ["v00000001"]
+
+    def test_identity_mismatch_detected(self, tmp_path, snapshot):
+        cat = SnapshotCatalog(tmp_path)
+        cat.publish(snapshot, name="s")
+        manifest_path = cat.path("s", 1) / MANIFEST_FILE
+        manifest = json.loads(manifest_path.read_text())
+        manifest["version"] = 7
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(SnapshotError, match="identity"):
+            cat.open("s")
+
+
+# ----------------------------------------------------------------------
+# cache
+# ----------------------------------------------------------------------
+
+
+class TestResultCache:
+    def test_lru_eviction_order(self):
+        cache = ResultCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh a
+        cache.put("c", 3)  # evicts b (LRU)
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+        stats = cache.stats()
+        assert stats.evictions == 1
+        assert stats.hits == 3
+        assert stats.misses == 1
+
+    def test_capacity_zero_disables(self):
+        cache = ResultCache(capacity=0)
+        cache.put("a", 1)
+        assert cache.get("a") is None
+        assert len(cache) == 0
+        assert cache.stats().misses == 1
+
+    def test_hit_rate(self):
+        cache = ResultCache(capacity=4)
+        assert cache.stats().hit_rate == 0.0
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("b")
+        assert cache.stats().hit_rate == 0.5
+
+
+# ----------------------------------------------------------------------
+# planner
+# ----------------------------------------------------------------------
+
+
+class TestPlanner:
+    def test_densest_normalizes_to_pbks(self):
+        a = normalize_request({"kind": "densest"})
+        b = normalize_request({"kind": "pbks", "metric": "average_degree"})
+        assert a.fingerprint == b.fingerprint
+
+    @pytest.mark.parametrize(
+        "request_, field",
+        [
+            ({"kind": "nope"}, "kind"),
+            ({}, "kind"),
+            ({"kind": "pbks", "metric": "nope"}, "metric"),
+            ({"kind": "influential", "k": 0}, "'k'"),
+            ({"kind": "influential", "r": -1}, "'r'"),
+            ({"kind": "influential", "weights": "pagerank"}, "weights"),
+            ({"kind": "densest", "metric": "internal_density"}, "metric"),
+        ],
+    )
+    def test_malformed_requests_name_the_field(self, request_, field):
+        with pytest.raises(WorkloadError, match=field):
+            normalize_request(request_)
+
+    def test_non_mapping_rejected(self):
+        with pytest.raises(WorkloadError, match="object"):
+            normalize_request("pbks")
+
+    def test_plan_coalesces_identical_queries(self):
+        q = normalize_request({"kind": "pbks", "metric": "average_degree"})
+        plan = QueryPlanner().plan([(0, q), (1, q), (2, q)])
+        assert plan.distinct == 1
+        assert plan.coalesced == 2
+        assert plan.requesters[q.fingerprint] == [0, 1, 2]
+
+    def test_plan_groups_by_shared_pass(self):
+        reqs = [
+            {"kind": "pbks", "metric": "average_degree"},
+            {"kind": "pbks", "metric": "clustering_coefficient"},
+            {"kind": "best_k", "metric": "average_degree"},
+            {"kind": "influential", "k": 2, "r": 1, "weights": "degree"},
+            {"kind": "influential", "k": 3, "r": 2, "weights": "degree"},
+        ]
+        plan = QueryPlanner().plan(
+            [(i, normalize_request(r)) for i, r in enumerate(reqs)]
+        )
+        assert plan.node_metrics == [
+            "average_degree",
+            "clustering_coefficient",
+        ]
+        assert plan.node_need_b  # clustering_coefficient is type B
+        assert plan.level_metrics == ["average_degree"]
+        assert not plan.level_need_b
+        assert plan.influential == {"degree": [(2, 1), (3, 2)]}
+
+
+# ----------------------------------------------------------------------
+# executor: batched answers match the direct search engines
+# ----------------------------------------------------------------------
+
+
+class TestExecutor:
+    @pytest.mark.parametrize(
+        "metric", ["average_degree", "clustering_coefficient"]
+    )
+    def test_pbks_matches_direct_search(self, snapshot, metric):
+        executor = SnapshotExecutor(snapshot, SimulatedPool(threads=4))
+        got = executor.run_query(
+            normalize_request({"kind": "pbks", "metric": metric})
+        )
+        want = pbks_search(
+            snapshot.graph,
+            snapshot.coreness,
+            snapshot.hcd,
+            metric,
+            SimulatedPool(threads=4),
+            counts=snapshot.counts,
+            rank_result=snapshot.rank_result,
+        )
+        assert got.best_k == want.best_k
+        assert got.best_score == want.best_score
+        assert got.detail == (want.best_node,)
+
+    @pytest.mark.parametrize(
+        "metric", ["average_degree", "clustering_coefficient"]
+    )
+    def test_best_k_matches_direct(self, snapshot, metric):
+        executor = SnapshotExecutor(snapshot, SimulatedPool(threads=4))
+        got = executor.run_query(
+            normalize_request({"kind": "best_k", "metric": metric})
+        )
+        want = find_best_k(
+            snapshot.graph,
+            snapshot.coreness,
+            metric,
+            SimulatedPool(threads=4),
+            counts=snapshot.counts,
+            rank_result=snapshot.rank_result,
+        )
+        assert got.best_k == want.best_k
+        assert got.best_score == want.best_score
+
+    def test_influential_matches_direct(self, snapshot):
+        executor = SnapshotExecutor(snapshot, SimulatedPool(threads=4))
+        got = executor.run_query(
+            normalize_request(
+                {"kind": "influential", "k": 2, "r": 3, "weights": "degree"}
+            )
+        )
+        index = InfluentialCommunityIndex(
+            snapshot.hcd,
+            np.asarray(snapshot.graph.degrees(), dtype=np.float64),
+            SimulatedPool(threads=4),
+        )
+        want = index.top_r(2, 3)
+        assert got.detail == tuple(
+            (c.node, float(c.influence), int(c.size)) for c in want
+        )
+
+    def test_share_passes_off_same_answers_more_work(self, snapshot):
+        reqs = [
+            (0, normalize_request({"kind": "pbks", "metric": "average_degree"})),
+            (1, normalize_request({"kind": "pbks", "metric": "internal_density"})),
+            (2, normalize_request({"kind": "best_k", "metric": "average_degree"})),
+        ]
+        plan = QueryPlanner().plan(reqs)
+        shared_pool = SimulatedPool(threads=4)
+        baseline_pool = SimulatedPool(threads=4)
+        shared = SnapshotExecutor(snapshot, shared_pool, share_passes=True)
+        baseline = SnapshotExecutor(
+            snapshot, baseline_pool, share_passes=False
+        )
+        r_shared = shared.execute(plan)
+        r_base = baseline.execute(plan)
+        assert r_shared == r_base
+        assert shared_pool.clock < baseline_pool.clock
+
+    def test_type_a_reuses_type_b_matrix(self, snapshot):
+        pool = SimulatedPool(threads=2)
+        executor = SnapshotExecutor(snapshot, pool)
+        executor.run_query(
+            normalize_request(
+                {"kind": "pbks", "metric": "clustering_coefficient"}
+            )
+        )
+        mark = pool.mark()
+        before = len(pool.regions)
+        executor.run_query(
+            normalize_request({"kind": "pbks", "metric": "average_degree"})
+        )
+        # only the score fold ran — no new contribution/accumulate pass
+        new_labels = [r.label for r in pool.regions[before:]]
+        assert all("score" in label for label in new_labels), new_labels
+        assert pool.elapsed_since(mark) > 0
+
+
+# ----------------------------------------------------------------------
+# service loop
+# ----------------------------------------------------------------------
+
+
+class TestService:
+    def test_serve_accounts_every_request(self, catalog):
+        service = HCDService(catalog, "base", threads=4)
+        trace = synthetic_trace(40, seed=5)
+        report = service.serve(trace)
+        assert len(report.records) == 40
+        assert report.admitted + report.shed == 40
+        answered = report.computed + report.hits
+        assert answered + report.shed + report.invalid == 40
+        assert [r.rid for r in report.records] == list(range(40))
+        assert report.work_units > 0
+        assert report.sim_clock > 0
+
+    def test_identical_repeat_queries_hit_cache(self, catalog):
+        service = HCDService(catalog, "base", threads=2)
+        entry = {"kind": "pbks", "metric": "average_degree"}
+        first = service.serve([dict(entry, arrival=0)])
+        second = service.serve([dict(entry, arrival=0)])
+        assert first.computed == 1 and first.hits == 0
+        assert second.computed == 0 and second.hits == 1
+        assert service.cache.stats().hits == 1
+
+    def test_in_flight_dedup_coalesces(self, catalog):
+        service = HCDService(catalog, "base", threads=2)
+        entry = {"kind": "pbks", "metric": "average_degree", "arrival": 0}
+        report = service.serve([dict(entry) for _ in range(5)])
+        assert report.coalesced == 4
+        assert service.cache.stats().puts == 1
+
+    def test_bounded_queue_sheds(self, catalog):
+        config = ServiceConfig(queue_capacity=2, max_batch=2)
+        service = HCDService(catalog, "base", threads=2, config=config)
+        trace = [
+            {"kind": "pbks", "metric": "average_degree", "arrival": 0}
+            for _ in range(6)
+        ]
+        report = service.serve(trace)
+        assert report.shed == 4
+        assert report.admitted == 2
+        shed = [r for r in report.records if r.status == "shed"]
+        assert all(r.latency == 0.0 for r in shed)
+
+    def test_invalid_requests_are_counted_not_fatal(self, catalog):
+        service = HCDService(catalog, "base", threads=2)
+        trace = [
+            {"kind": "pbks", "metric": "average_degree", "arrival": 0},
+            {"kind": "bogus", "arrival": 1},
+        ]
+        report = service.serve(trace)
+        assert report.invalid == 1
+        assert report.computed == 1
+        statuses = {r.rid: r.status for r in report.records}
+        assert statuses[1] == "invalid"
+
+    def test_decreasing_arrivals_rejected(self, catalog):
+        service = HCDService(catalog, "base", threads=2)
+        trace = [
+            {"kind": "densest", "arrival": 5},
+            {"kind": "densest", "arrival": 1},
+        ]
+        with pytest.raises(WorkloadError, match="arrival"):
+            service.serve(trace)
+
+    def test_latency_percentiles_ordered(self, catalog):
+        service = HCDService(catalog, "base", threads=4)
+        report = service.serve(synthetic_trace(32, seed=9))
+        assert 0 < report.p50 <= report.p95 <= report.p99
+        assert sum(report.histogram().values()) == len(report.latencies)
+
+    def test_serve_phases_visible_to_simprof(self, catalog):
+        from repro.profiler import SpanTracer, phase_totals, profile_report
+
+        pool = SimulatedPool(threads=4)
+        tracer = SpanTracer()
+        tracer.attach(pool)
+        service = HCDService(catalog, "base", pool=pool)
+        service.serve(synthetic_trace(24, seed=2))
+        tracer.detach()
+        totals = phase_totals(profile_report(tracer, pool), prefix="serve.")
+        seen = {path.split("/")[0] for path in totals}
+        assert {
+            "serve.admit",
+            "serve.plan",
+            "serve.cache",
+            "serve.execute",
+        } <= seen
+        assert all(elapsed >= 0 for elapsed in totals.values())
+
+    def test_serve_kernel_sanitizer_clean(self):
+        from repro.sanitizer import run_kernel
+
+        report = run_kernel("serve_batch", threads=4, memcheck=True)
+        assert report.clean, (report.races, report.memcheck_findings)
+
+
+# ----------------------------------------------------------------------
+# traces
+# ----------------------------------------------------------------------
+
+
+class TestTraces:
+    def test_synthetic_trace_deterministic(self):
+        assert synthetic_trace(30, seed=4) == synthetic_trace(30, seed=4)
+        assert synthetic_trace(30, seed=4) != synthetic_trace(30, seed=5)
+
+    def test_save_load_round_trip(self, tmp_path):
+        trace = synthetic_trace(12, seed=1)
+        path = tmp_path / "trace.jsonl"
+        save_trace(trace, path)
+        assert load_trace(path) == trace
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(WorkloadError, match="not found"):
+            load_trace(tmp_path / "nope.jsonl")
+
+    def test_load_bad_json_names_line(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"kind": "densest", "arrival": 0}\n{broken\n')
+        with pytest.raises(WorkloadError, match=":2"):
+            load_trace(path)
+
+    def test_load_non_object_line(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text("[1, 2]\n")
+        with pytest.raises(WorkloadError, match="object"):
+            load_trace(path)
+
+
+# ----------------------------------------------------------------------
+# dynamic feed: refresh + cache invalidation (satellite 1)
+# ----------------------------------------------------------------------
+
+
+class TestDynamicFeed:
+    def test_mutation_publishes_new_version(self, tmp_path):
+        graph = _graph()
+        dyn = DynamicGraph(graph)
+        cat = SnapshotCatalog(tmp_path)
+        feed = DynamicServingFeed(dyn, cat, name="live", threads=2)
+        assert feed.publish() == 1
+        u, v = self._absent_edge(dyn)
+        assert feed.insert_edge(u, v) == 2
+        assert cat.latest_version("live") == 2
+        # the published snapshot reflects the maintained coreness
+        snap = cat.open("live")
+        assert np.array_equal(
+            snap.coreness, core_decomposition(dyn.to_graph())
+        )
+        assert dyn.mutation_count == 1
+        assert "dynamic" in snap.build_info["algorithm"]
+
+    def test_refresh_invalidates_cached_results(self, tmp_path):
+        graph = _graph()
+        dyn = DynamicGraph(graph)
+        cat = SnapshotCatalog(tmp_path)
+        feed = DynamicServingFeed(dyn, cat, name="live", threads=2)
+        feed.publish()
+
+        service = HCDService(cat, "live", threads=2)
+        entry = {"kind": "pbks", "metric": "average_degree", "arrival": 0}
+        first = service.serve([dict(entry)])
+        assert first.computed == 1
+        assert first.snapshot == ("live", 1)
+
+        # mutate -> new version; the old cached result must not be served
+        u, v = self._absent_edge(dyn)
+        feed.insert_edge(u, v)
+        second = service.serve([dict(entry)])
+        assert second.snapshot == ("live", 2)
+        assert second.hits == 0  # old-version entry is dead, recomputed
+        assert second.computed == 1
+        # the stale entry is still *in* the LRU, just unreachable
+        assert service.cache.stats().size == 2
+
+        # same version again -> now it hits
+        third = service.serve([dict(entry)])
+        assert third.hits == 1
+
+    @staticmethod
+    def _absent_edge(dyn):
+        for u in range(dyn.num_vertices):
+            for v in range(u + 1, dyn.num_vertices):
+                if not dyn.has_edge(u, v):
+                    return u, v
+        raise AssertionError("graph is complete")
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+
+
+class TestServeCli:
+    def test_build_and_serve(self, tmp_path, capsys):
+        from repro.cli import main
+
+        catalog_dir = tmp_path / "cat"
+        report_path = tmp_path / "report.json"
+        code = main(
+            [
+                "serve",
+                "--build",
+                "--dataset",
+                "AS",
+                "--catalog",
+                str(catalog_dir),
+                "--snapshot",
+                "as",
+                "--synthetic",
+                "24",
+                "--json",
+                str(report_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "published 'as' v1" in out
+        assert "latency" in out
+        payload = json.loads(report_path.read_text())
+        assert payload["snapshot"] == {"name": "as", "version": 1}
+        assert payload["requests"] == 24
+
+    def test_serve_unknown_snapshot_fails(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main(
+            ["serve", "--catalog", str(tmp_path), "--snapshot", "ghost"]
+        )
+        assert code == 1
+        assert "serve failed" in capsys.readouterr().err
