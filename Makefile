@@ -1,10 +1,10 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check test sanitize memcheck lint profile bench-sanitize bench-profile serve-bench
+.PHONY: check test sanitize memcheck lint flow profile bench-sanitize bench-profile bench-flow serve-bench
 
-## check: the CI gate — tests, lint, kernel race+memcheck sweep, profiler selftest
-check: test sanitize memcheck profile
+## check: the CI gate — tests, strict lint, flow analysis, kernel race+memcheck sweep, profiler selftest
+check: test lint flow sanitize memcheck profile
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -20,9 +20,14 @@ memcheck:
 	$(PYTHON) -m repro sanitize --memcheck --all-kernels
 	$(PYTHON) -m repro sanitize --memcheck --selftest
 
-## lint: the full static SAN1xx-SAN3xx lint over src/, warnings gating
+## lint: the full static SAN1xx-SAN3xx lint over src/ + benchmarks/, warnings gating
 lint:
 	$(PYTHON) -m repro sanitize --strict --lint
+
+## flow: SimFlow SAN4xx analysis — divergent sync, disjoint-write proofs, effect drift
+flow:
+	$(PYTHON) -m repro sanitize --strict --flow --all-kernels
+	$(PYTHON) -m repro sanitize --flow --selftest
 
 ## profile: SimProf zero-perturbation selftest
 profile:
@@ -35,6 +40,10 @@ bench-sanitize:
 ## bench-profile: refresh benchmarks/results/BENCH_profile.json
 bench-profile:
 	$(PYTHON) benchmarks/bench_profile.py
+
+## bench-flow: refresh benchmarks/results/BENCH_flow.json (SimFlow wall-time)
+bench-flow:
+	$(PYTHON) benchmarks/bench_flow.py
 
 ## serve-bench: refresh benchmarks/results/BENCH_serve.json (HCDServe replay)
 serve-bench:

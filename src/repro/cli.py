@@ -97,20 +97,21 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_san = sub.add_parser(
         "sanitize",
-        help="race detection + memory sanitizer + lint",
+        help="race detection + memory sanitizer + lint + flow analysis",
         description=(
             "Run the sanitizer families over the substrate: the "
             "SimTSan race detector over the named parallel kernels, "
             "the SimCheck memory & numeric sanitizer (--memcheck), "
             "the static SAN1xx-SAN3xx lint pass over source trees, "
-            "and the seeded-bug selftests.  With no options: all "
-            "kernels, lint over src/, and the selftest."
+            "the SimFlow SAN4xx CFG/dataflow analysis (--flow), and "
+            "the seeded-bug selftests.  With no options: all kernels, "
+            "lint + flow over src/ and benchmarks/, and the selftests."
         ),
         epilog=(
             "Exit status: 0 when every family that ran is clean; "
             "1 when ANY family reports (a race, a memcheck finding, "
-            "a lint error — any lint finding under --strict — or a "
-            "failed selftest); 2 on usage errors.  One summary line "
+            "a lint or flow error — any finding under --strict — or "
+            "a failed selftest); 2 on usage errors.  One summary line "
             "is printed per family."
         ),
     )
@@ -151,9 +152,27 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     p_san.add_argument(
+        "--flow",
+        action="store_true",
+        help=(
+            "run the SimFlow SAN4xx analysis: divergent-sync taint "
+            "over worker CFGs (SAN401/402), disjoint-write interval "
+            "proofs (SAN403 + SAN201 downgrades), and kernel effect "
+            "signature drift (SAN404/405) for the selected kernels"
+        ),
+    )
+    p_san.add_argument(
+        "--flow-baseline",
+        metavar="FILE",
+        help=(
+            "acknowledged-drift baseline for SAN4xx findings "
+            "(default: the committed flow_baseline.json)"
+        ),
+    )
+    p_san.add_argument(
         "--strict",
         action="store_true",
-        help="treat lint warnings as failures (CI gate mode)",
+        help="treat lint/flow warnings as failures (CI gate mode)",
     )
     p_san.add_argument(
         "--report",
@@ -401,22 +420,32 @@ def _cmd_sanitize(args: argparse.Namespace) -> int:
             print(name)
         return 0
 
+    from pathlib import Path
+
     # default mode: everything
     explicit = bool(
         args.all_kernels
         or args.kernel
         or args.lint is not None
         or args.selftest
+        or args.flow
     )
+    default_scope = [p for p in ("src", "benchmarks") if Path(p).exists()]
     do_kernels = list(args.kernel)
     if args.all_kernels or not explicit:
         do_kernels = list(KERNELS)
     do_lint = args.lint if args.lint is not None else (
-        None if args.selftest or args.kernel or args.all_kernels else ["src"]
+        None
+        if args.selftest or args.kernel or args.all_kernels or args.flow
+        else list(default_scope)
     )
     if args.lint is not None and not args.lint:
-        do_lint = ["src"]
+        do_lint = list(default_scope)
     do_selftest = args.selftest or not explicit
+    do_flow = args.flow or not explicit
+    # SimFlow analyzes the lint scope (or the default scope when only
+    # --flow was given); effect signatures cover the selected kernels
+    flow_paths = do_lint if do_lint else list(default_scope)
 
     if args.threads < 1:
         print(
@@ -480,9 +509,49 @@ def _cmd_sanitize(args: argparse.Namespace) -> int:
             )
         report_json["kernels"] = kernel_rows
 
-    if do_lint:
-        from pathlib import Path
+    # SimFlow runs before the lint report so its disjoint-write proofs
+    # can downgrade SAN201 warnings at verified sites
+    flow_report = None
+    flow_active: list = []
+    flow_baselined: list = []
+    downgrade_lines: set[tuple[str, int]] = set()
+    if do_flow:
+        from repro.sanitizer.flow import (
+            analyze_paths as flow_analyze_paths,
+            apply_baseline,
+            check_kernel_effects,
+            load_baseline,
+        )
 
+        missing = [p for p in flow_paths if not Path(p).exists()]
+        if missing:
+            for p in missing:
+                print(f"no such lint path: {p}", file=sys.stderr)
+            return 2
+        try:
+            baseline = load_baseline(args.flow_baseline)
+        except (OSError, ValueError) as exc:
+            print(
+                f"cannot read flow baseline "
+                f"{args.flow_baseline}: {exc}",
+                file=sys.stderr,
+            )
+            return 2
+        flow_report = flow_analyze_paths(flow_paths)
+        effect_findings, inferred = check_kernel_effects(
+            names=do_kernels or None
+        )
+        flow_report.findings.extend(effect_findings)
+        flow_report.effects = inferred
+        flow_active, flow_baselined = apply_baseline(
+            flow_report.findings, baseline
+        )
+        downgrade_lines = {
+            (str(Path(p).resolve()), line)
+            for p, line in flow_report.verified_lines()
+        }
+
+    if do_lint:
         missing = [p for p in do_lint if not Path(p).exists()]
         if missing:
             for p in missing:
@@ -490,19 +559,79 @@ def _cmd_sanitize(args: argparse.Namespace) -> int:
             return 2
         print(f"== lint ({', '.join(str(p) for p in do_lint)}) ==")
         findings = lint_paths(do_lint)
+        # a disjointness *proof* trumps the pattern checks: SAN201
+        # (bare item-derived store) and SAN101 (index the lint cannot
+        # relate to the item, e.g. the chunk-loop idiom) both downgrade
+        downgraded = [
+            f
+            for f in findings
+            if f.code in ("SAN101", "SAN201")
+            and (str(Path(f.path).resolve()), f.line) in downgrade_lines
+        ]
+        findings = [f for f in findings if f not in downgraded]
         errors = sum(1 for f in findings if f.severity == "error")
         warnings = len(findings) - errors
         for finding in findings:
             print(f"  {finding}")
-        if not findings:
+        for finding in downgraded:
+            print(f"  {finding} [downgraded: verified-disjoint]")
+        if not findings and not downgraded:
             print("  clean")
         lint_failures = errors + (warnings if args.strict else 0)
+        suffix = f"{errors} error(s), {warnings} warning(s)"
+        if downgraded:
+            suffix += f", {len(downgraded)} downgraded"
         families["lint"] = (
             lint_failures,
-            f"{errors} error(s), {warnings} warning(s)"
-            + (" [strict]" if args.strict else ""),
+            suffix + (" [strict]" if args.strict else ""),
         )
         report_json["lint"] = [str(f) for f in findings]
+        report_json["lint_downgraded"] = [str(f) for f in downgraded]
+
+    if do_flow and flow_report is not None:
+        print(f"== flow ({', '.join(str(p) for p in flow_paths)}) ==")
+        cwd = Path.cwd()
+
+        def _rel(path: str) -> str:
+            try:
+                return str(Path(path).resolve().relative_to(cwd))
+            except ValueError:
+                return path
+
+        for finding in flow_active:
+            print(f"  {_rel(finding.path)}:{finding.line}:{finding.col} "
+                  f"{finding.code} [{finding.severity}] {finding.message}")
+        for finding, reason in flow_baselined:
+            print(f"  {finding.code} baselined ({finding.key}): {reason}")
+        if not flow_active and not flow_baselined:
+            print("  clean")
+        flow_errors = sum(
+            1 for f in flow_active if f.severity == "error"
+        )
+        flow_warnings = len(flow_active) - flow_errors
+        flow_failures = flow_errors + (flow_warnings if args.strict else 0)
+        families["flow"] = (
+            flow_failures,
+            f"{flow_errors} error(s), {flow_warnings} warning(s), "
+            f"{len(flow_report.verified)} verified-disjoint, "
+            f"{len(flow_baselined)} baselined, "
+            f"effects over {len(flow_report.effects)} kernel(s)"
+            + (" [strict]" if args.strict else ""),
+        )
+        report_json["flow"] = {
+            "findings": [str(f) for f in flow_active],
+            "baselined": [
+                {"key": f.key, "reason": reason}
+                for f, reason in flow_baselined
+            ],
+            "verified_disjoint": [str(v) for v in flow_report.verified],
+            "effects": {
+                name: sig.as_dict()
+                for name, sig in flow_report.effects.items()
+            },
+            "workers": flow_report.workers,
+            "files": flow_report.files,
+        }
 
     if do_selftest:
         print("== selftest (seeded-bug kernels) ==")
@@ -513,6 +642,13 @@ def _cmd_sanitize(args: argparse.Namespace) -> int:
             mok, mmessage = memcheck_selftest(threads=max(args.threads, 4))
             print(f"  {mmessage}")
             if not mok:
+                selftest_failures += 1
+        if do_flow:
+            from repro.sanitizer.flow import flow_selftest
+
+            fok, fmessage = flow_selftest()
+            print(f"  [flow] {fmessage}")
+            if not fok:
                 selftest_failures += 1
         families["selftest"] = (
             selftest_failures,

@@ -14,16 +14,35 @@ Three complementary gates over the simulated-multicore kernels:
   ``parallel_for`` worker closures (unrecorded mutation of captured
   shared state), SAN3xx module-wide (unpoisoned allocation, unchecked
   data-dependent indexing, narrowing casts, float-into-int
-  accumulation).
+  accumulation);
+* :mod:`repro.sanitizer.flow` — SimFlow, the SAN4xx CFG/dataflow
+  family: divergent-sync taint analysis over worker control-flow
+  graphs (SAN401/402), interval proofs that chunked stores stay in
+  the owning thread's slice (SAN403 / verified-disjoint SAN201
+  downgrades), and per-kernel effect-signature drift against the
+  declared :data:`~repro.sanitizer.kernels.KERNEL_EFFECTS`
+  (SAN404/405) gated by a committed baseline.
 
-Entry points: ``repro sanitize`` (CLI; ``--memcheck`` adds SimCheck),
+Entry points: ``repro sanitize`` (CLI; ``--memcheck`` adds SimCheck,
+``--flow`` adds SimFlow),
 ``pytest --sanitize [--memcheck]`` (test suite under the observers),
 :func:`repro.sanitizer.kernels.run_all_kernels` (programmatic).  Also
 importable as :mod:`repro.analysis.sanitizer`.
 """
 
 from repro.sanitizer.detector import RaceDetector, RaceReport
+from repro.sanitizer.flow import (
+    EffectSignature,
+    FlowFinding,
+    FlowReport,
+    VerifiedStore,
+    analyze_paths as flow_analyze_paths,
+    check_kernel_effects,
+    flow_selftest,
+    infer_kernel_effects,
+)
 from repro.sanitizer.kernels import (
+    KERNEL_EFFECTS,
     KERNELS,
     KernelReport,
     run_all_kernels,
@@ -53,9 +72,18 @@ __all__ = [
     "lint_file",
     "lint_paths",
     "KERNELS",
+    "KERNEL_EFFECTS",
     "KernelReport",
     "run_kernel",
     "run_all_kernels",
+    "EffectSignature",
+    "FlowFinding",
+    "FlowReport",
+    "VerifiedStore",
+    "flow_analyze_paths",
+    "flow_selftest",
+    "infer_kernel_effects",
+    "check_kernel_effects",
     "SELFTEST_PREFIX",
     "run_racy_kernel",
     "selftest",

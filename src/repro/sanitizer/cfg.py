@@ -1,0 +1,338 @@
+"""Per-function control-flow graphs for the SimFlow analyzer.
+
+SimFlow (:mod:`repro.sanitizer.flow`) needs two facts the AST alone
+cannot answer:
+
+* **control dependence** — is a statement's *reachability* decided by
+  some branch?  Syntactic nesting is not enough: after
+  ``if cond: return``, every following statement is control-dependent
+  on ``cond`` even though it is written at the top level of the
+  function body; and
+* **loop context** — which loop headers govern how many times a
+  statement executes.
+
+This module builds a basic-block CFG from a ``FunctionDef`` /
+``Lambda`` body, computes postdominators by the classic iterative
+intersection, and derives per-block control-dependence sets (block B
+is control-dependent on branch block C iff B postdominates some
+successor of C but not C itself).  Graphs are tiny — worker closures
+are tens of statements — so the O(n^2) set algorithms are fine.
+
+Structure statements are *decomposed*: an ``If`` contributes its test
+expression to the branch block and its arms to successor blocks, so a
+block's ``stmts`` never contain nested compound statements (``with``
+items are kept as their context expressions, evaluated at entry).
+``break`` / ``continue`` / ``return`` / ``raise`` edges are modelled;
+``try`` is approximated by making every handler reachable from the
+statement before the ``try`` body (exceptions may fire anywhere, and
+precision there buys nothing for divergence analysis).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+__all__ = ["Block", "CFG", "build_cfg"]
+
+#: ``Block.kind`` values for branch-point blocks.
+BRANCH_KINDS = ("if", "while", "for")
+
+
+@dataclass
+class Block:
+    """One basic block: straight-line statements plus a terminator.
+
+    ``test`` holds the branch condition for ``kind='if'``/``'while'``
+    and the iterable expression for ``kind='for'`` (the expression
+    whose thread-variance decides whether control flow diverges at
+    this block).  ``target`` is the ``for`` loop variable when
+    ``kind='for'``.
+    """
+
+    bid: int
+    kind: str = "linear"  # linear | if | while | for | entry | exit
+    stmts: list[ast.AST] = field(default_factory=list)
+    test: ast.expr | None = None
+    target: ast.expr | None = None
+    line: int = 0
+    succs: list[int] = field(default_factory=list)
+    preds: list[int] = field(default_factory=list)
+
+    @property
+    def is_branch(self) -> bool:
+        return self.kind in BRANCH_KINDS and len(set(self.succs)) > 1
+
+    @property
+    def is_loop(self) -> bool:
+        return self.kind in ("while", "for")
+
+
+class CFG:
+    """Control-flow graph of one function body."""
+
+    def __init__(self) -> None:
+        self.blocks: list[Block] = []
+        self.entry: int = self._new("entry").bid
+        self.exit: int = self._new("exit").bid
+
+    # -- construction helpers ------------------------------------------
+
+    def _new(self, kind: str = "linear") -> Block:
+        block = Block(bid=len(self.blocks), kind=kind)
+        self.blocks.append(block)
+        return block
+
+    def _edge(self, a: int, b: int) -> None:
+        if b not in self.blocks[a].succs:
+            self.blocks[a].succs.append(b)
+        if a not in self.blocks[b].preds:
+            self.blocks[b].preds.append(a)
+
+    # -- analyses ------------------------------------------------------
+
+    def postdominators(self) -> list[set[int]]:
+        """``pdom[b]`` = blocks postdominating b (including b itself).
+
+        Unreachable-from-exit blocks (e.g. the body of ``while True``
+        with no break) conservatively postdominate nothing beyond
+        themselves once the fixpoint settles.
+        """
+        n = len(self.blocks)
+        full = set(range(n))
+        pdom: list[set[int]] = [set(full) for _ in range(n)]
+        pdom[self.exit] = {self.exit}
+        changed = True
+        while changed:
+            changed = False
+            for b in range(n):
+                if b == self.exit:
+                    continue
+                succs = self.blocks[b].succs
+                if succs:
+                    new = set.intersection(*(pdom[s] for s in succs))
+                else:
+                    # dead-end block (no path to exit): only itself
+                    new = set()
+                new.add(b)
+                if new != pdom[b]:
+                    pdom[b] = new
+                    changed = True
+        return pdom
+
+    def control_dependence(self) -> list[set[int]]:
+        """``cd[b]`` = branch blocks that decide whether b executes.
+
+        Classic definition via postdominators: b is control-dependent
+        on branch block c iff b postdominates at least one successor
+        of c but does not postdominate c.  Loop headers count as
+        branches (body blocks are control-dependent on them), which is
+        exactly what divergence analysis wants: a loop with a
+        thread-variant bound makes everything inside it execute a
+        thread-variant number of times.
+        """
+        pdom = self.postdominators()
+        cd: list[set[int]] = [set() for _ in self.blocks]
+        for c in range(len(self.blocks)):
+            block = self.blocks[c]
+            if len(set(block.succs)) < 2:
+                continue
+            for s in block.succs:
+                for b in range(len(self.blocks)):
+                    if b == c:
+                        continue
+                    if b in pdom[s] and b not in pdom[c]:
+                        cd[b].add(c)
+        return cd
+
+    def transitive_control_dependence(self) -> list[set[int]]:
+        """Control dependence closed under chains of branches.
+
+        A statement inside an inner ``if`` nested in an outer ``if``
+        depends on both conditions; the plain relation only records
+        the inner one.
+        """
+        cd = self.control_dependence()
+        closed: list[set[int]] = [set(s) for s in cd]
+        changed = True
+        while changed:
+            changed = False
+            for b in range(len(self.blocks)):
+                for c in list(closed[b]):
+                    extra = closed[c] - closed[b]
+                    if extra:
+                        closed[b] |= extra
+                        changed = True
+        return closed
+
+    def block_of(self, node: ast.AST) -> int | None:
+        """The block whose statement list contains ``node`` (by identity)."""
+        for block in self.blocks:
+            for stmt in block.stmts:
+                if stmt is node:
+                    return block.bid
+                for inner in ast.walk(stmt):
+                    if inner is node:
+                        return block.bid
+        return None
+
+
+class _Builder:
+    """Recursive-descent CFG construction over a statement list."""
+
+    def __init__(self) -> None:
+        self.cfg = CFG()
+        # (continue_target, break_target) stack for loops
+        self._loops: list[tuple[int, int]] = []
+
+    def build(self, body: list[ast.stmt]) -> CFG:
+        first = self.cfg._new()
+        self.cfg._edge(self.cfg.entry, first.bid)
+        last = self._stmts(body, first.bid)
+        if last is not None:
+            self.cfg._edge(last, self.cfg.exit)
+        return self.cfg
+
+    # ------------------------------------------------------------------
+
+    def _stmts(self, body: list[ast.stmt], current: int | None) -> int | None:
+        """Thread ``body`` through the graph; returns the open block id
+        (or None when every path already left, e.g. via ``return``)."""
+        for stmt in body:
+            if current is None:
+                # unreachable continuation; keep building so findings
+                # in dead code still get sensible attribution
+                current = self.cfg._new().bid
+            current = self._stmt(stmt, current)
+        return current
+
+    def _stmt(self, stmt: ast.stmt, current: int) -> int | None:
+        cfg = self.cfg
+        if isinstance(stmt, ast.If):
+            branch = cfg.blocks[current]
+            branch.kind = "if"
+            branch.test = stmt.test
+            branch.line = stmt.lineno
+            then_entry = cfg._new()
+            cfg._edge(current, then_entry.bid)
+            then_exit = self._stmts(stmt.body, then_entry.bid)
+            else_entry = cfg._new()
+            cfg._edge(current, else_entry.bid)
+            else_exit = self._stmts(stmt.orelse, else_entry.bid)
+            exits = [e for e in (then_exit, else_exit) if e is not None]
+            if not exits:
+                return None
+            join = cfg._new()
+            for e in exits:
+                cfg._edge(e, join.bid)
+            return join.bid
+
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            header = cfg._new("while" if isinstance(stmt, ast.While) else "for")
+            header.line = stmt.lineno
+            if isinstance(stmt, ast.While):
+                header.test = stmt.test
+            else:
+                header.test = stmt.iter
+                header.target = stmt.target
+            cfg._edge(current, header.bid)
+            after = cfg._new()
+            body_entry = cfg._new()
+            cfg._edge(header.bid, body_entry.bid)
+            cfg._edge(header.bid, after.bid)
+            self._loops.append((header.bid, after.bid))
+            body_exit = self._stmts(stmt.body, body_entry.bid)
+            self._loops.pop()
+            if body_exit is not None:
+                cfg._edge(body_exit, header.bid)  # back edge
+            if stmt.orelse:
+                # else-clause runs on normal loop exit; fold into after
+                after_exit = self._stmts(stmt.orelse, after.bid)
+                if after_exit is not None and after_exit != after.bid:
+                    return after_exit
+            return after.bid
+
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            cfg.blocks[current].stmts.append(stmt)
+            cfg._edge(current, cfg.exit)
+            return None
+
+        if isinstance(stmt, ast.Break):
+            if self._loops:
+                cfg._edge(current, self._loops[-1][1])
+            return None
+
+        if isinstance(stmt, ast.Continue):
+            if self._loops:
+                cfg._edge(current, self._loops[-1][0])
+            return None
+
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            # context expressions evaluate at entry in the current block
+            for item in stmt.items:
+                if item.optional_vars is not None:
+                    entry: ast.stmt = ast.Assign(
+                        targets=[item.optional_vars], value=item.context_expr
+                    )
+                else:
+                    entry = ast.Expr(value=item.context_expr)
+                ast.copy_location(entry, item.context_expr)
+                cfg.blocks[current].stmts.append(entry)
+            return self._stmts(stmt.body, current)
+
+        if isinstance(stmt, ast.Try):
+            # Approximate: handlers are reachable from the block before
+            # the try body (an exception may fire anywhere inside it).
+            pre = current
+            body_exit = self._stmts(stmt.body, current)
+            exits: list[int] = []
+            if body_exit is not None:
+                else_exit = (
+                    self._stmts(stmt.orelse, body_exit)
+                    if stmt.orelse
+                    else body_exit
+                )
+                if else_exit is not None:
+                    exits.append(else_exit)
+            for handler in stmt.handlers:
+                h_entry = cfg._new()
+                cfg._edge(pre, h_entry.bid)
+                if handler.name:
+                    bind = ast.Assign(
+                        targets=[
+                            ast.Name(id=handler.name, ctx=ast.Store())
+                        ],
+                        value=ast.Constant(value=None),
+                    )
+                    ast.copy_location(bind, handler)
+                    cfg.blocks[h_entry.bid].stmts.append(bind)
+                h_exit = self._stmts(handler.body, h_entry.bid)
+                if h_exit is not None:
+                    exits.append(h_exit)
+            if stmt.finalbody:
+                join = cfg._new()
+                for e in exits:
+                    cfg._edge(e, join.bid)
+                return self._stmts(stmt.finalbody, join.bid if exits else pre)
+            if not exits:
+                return None
+            join = cfg._new()
+            for e in exits:
+                cfg._edge(e, join.bid)
+            return join.bid
+
+        # plain statement (incl. nested FunctionDef/ClassDef, which are
+        # opaque to this CFG — their bodies get their own graphs)
+        cfg.blocks[current].stmts.append(stmt)
+        return current
+
+
+def build_cfg(fn: ast.FunctionDef | ast.AsyncFunctionDef | ast.Lambda) -> CFG:
+    """CFG of one function's body (a Lambda body becomes a Return)."""
+    if isinstance(fn, ast.Lambda):
+        ret = ast.Return(value=fn.body)
+        ast.copy_location(ret, fn.body)
+        body: list[ast.stmt] = [ret]
+    else:
+        body = fn.body
+    return _Builder().build(body)

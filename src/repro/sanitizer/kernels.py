@@ -26,7 +26,13 @@ from repro.parallel.observers import ObserverFanout
 from repro.sanitizer.detector import RaceDetector, RaceReport
 from repro.sanitizer.memcheck import MemChecker, san_empty
 
-__all__ = ["KernelReport", "KERNELS", "run_kernel", "run_all_kernels"]
+__all__ = [
+    "KernelReport",
+    "KERNELS",
+    "KERNEL_EFFECTS",
+    "run_kernel",
+    "run_all_kernels",
+]
 
 
 @dataclass
@@ -191,6 +197,188 @@ KERNELS: dict[str, object] = {
     "unionfind_waitfree": _kernel_unionfind_waitfree,
     "vertex_rank": _kernel_vertex_rank,
     "serve_batch": _kernel_serve_batch,
+}
+
+
+#: Declared parallel effect signatures, one per registered kernel:
+#: the captured containers each kernel's workers read and write plus
+#: the locations they synchronize through atomics.  SimFlow
+#: (``repro sanitize --flow``) infers the actual footprint from the
+#: call graph and reports drift as SAN404 (undeclared effect, error)
+#: / SAN405 (stale declaration, warning); update this table — or
+#: baseline the drift with a reason — when a kernel's parallel
+#: footprint legitimately changes.
+KERNEL_EFFECTS: dict[str, dict[str, tuple[str, ...]]] = {
+    "pkc": {
+        "reads": ("indices", "indptr", "next_parts", "settled"),
+        "writes": ("coreness", "next_parts", "pkc_core"),
+        "atomics": ("degree",),
+    },
+    "phcd": {
+        "reads": (
+            "bins",
+            "coreness",
+            "indices",
+            "indptr",
+            "next_parts",
+            "settled",
+            "vsort",
+        ),
+        "writes": (
+            "bins",
+            "coreness",
+            "hcd_parent",
+            "next_parts",
+            "pkc_core",
+            "rank",
+            "tid",
+        ),
+        "atomics": (
+            "HL",
+            "degree",
+            "hcd_nodes",
+            "kpc_pivot",
+            "node_members",
+            "tid_arr",
+            "uf",
+        ),
+    },
+    "phcd_pivot": {
+        "reads": (
+            "bins",
+            "coreness",
+            "indices",
+            "indptr",
+            "next_parts",
+            "settled",
+            "vsort",
+        ),
+        "writes": (
+            "bins",
+            "coreness",
+            "hcd_parent",
+            "next_parts",
+            "pkc_core",
+            "rank",
+            "tid",
+        ),
+        "atomics": (
+            "HL",
+            "degree",
+            "hcd_nodes",
+            "kpc_pivot",
+            "node_members",
+            "tid_arr",
+            "uf",
+        ),
+    },
+    "pbks": {
+        "reads": (
+            "accumulated",
+            "bins",
+            "coreness",
+            "counts",
+            "indices",
+            "indptr",
+            "next_parts",
+            "parents",
+            "ranks",
+            "settled",
+            "tid",
+            "vals",
+            "vsort",
+        ),
+        "writes": (
+            "bins",
+            "coreness",
+            "eq",
+            "gt",
+            "hcd_parent",
+            "next_parts",
+            "pbks_scores",
+            "pkc_core",
+            "pre_counts",
+            "rank",
+            "scores",
+            "tid",
+        ),
+        "atomics": (
+            "HL",
+            "degree",
+            "hcd_nodes",
+            "kpc_pivot",
+            "node_members",
+            "out",
+            "sink",
+            "tid_arr",
+            "uf",
+        ),
+    },
+    "accumulate": {
+        "reads": ("parents", "vals"),
+        "writes": (),
+        "atomics": ("sink",),
+    },
+    "accumulate_euler": {
+        "reads": ("end", "prefix", "source", "start"),
+        "writes": ("out", "prefix"),
+        "atomics": (),
+    },
+    "unionfind_pivot": {
+        "reads": (),
+        "writes": (),
+        "atomics": ("uf",),
+    },
+    "unionfind_waitfree": {
+        "reads": (),
+        "writes": (),
+        "atomics": ("uf",),
+    },
+    "vertex_rank": {
+        "reads": (
+            "bins",
+            "coreness",
+            "indices",
+            "indptr",
+            "next_parts",
+            "settled",
+            "vsort",
+        ),
+        "writes": ("bins", "coreness", "next_parts", "pkc_core", "rank"),
+        "atomics": ("HL", "degree"),
+    },
+    "serve_batch": {
+        "reads": (
+            "bins",
+            "coreness",
+            "indices",
+            "indptr",
+            "next_parts",
+            "settled",
+            "vsort",
+        ),
+        "writes": (
+            "bins",
+            "coreness",
+            "eq",
+            "gt",
+            "hcd_parent",
+            "next_parts",
+            "pkc_core",
+            "pre_counts",
+            "rank",
+            "tid",
+        ),
+        "atomics": (
+            "HL",
+            "degree",
+            "hcd_nodes",
+            "kpc_pivot",
+            "node_members",
+            "tid_arr",
+            "uf",
+        ),
+    },
 }
 
 

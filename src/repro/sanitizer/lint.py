@@ -12,6 +12,8 @@ Rules
 =======  ========  =======================================================
 code     severity  meaning
 =======  ========  =======================================================
+SAN001   warning   bare ``# sani: ok`` suppression with no trailing
+                   reason — the escape hatch must document why
 SAN101   error     subscript store into a captured container at an index
                    not derived from the loop item — overlapping writes
                    across virtual threads
@@ -59,7 +61,9 @@ Escapes
   ``CheckedGraph``) and exempt from SAN302, so the ubiquitous
   ``indices[indptr[v]:indptr[v+1]]`` idiom stays clean.
 * A trailing ``# sani: ok`` comment suppresses all findings on that
-  line; include a reason, e.g. ``# sani: ok - permutation scatter``.
+  line; a reason is required, e.g. ``# sani: ok - permutation
+  scatter`` — a bare marker is itself flagged (SAN001) and cannot
+  suppress its own finding.
 """
 
 from __future__ import annotations
@@ -329,6 +333,49 @@ def _suppressed_lines(source: str) -> set[int]:
     }
 
 
+def _bare_suppressions(source: str, path: str) -> list["LintFinding"]:
+    """SAN001: suppression markers with no trailing reason.
+
+    Only real ``COMMENT`` tokens count — the marker may legitimately
+    appear inside string literals (this module defines it in one).  A
+    bare marker cannot suppress its own finding: reasonless escapes
+    are exactly what the rule exists to surface.
+    """
+    import io
+    import tokenize
+
+    findings: list[LintFinding] = []
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            comment = tok.string
+            idx = comment.find(SUPPRESS_MARKER)
+            if idx < 0:
+                continue
+            rest = comment[idx + len(SUPPRESS_MARKER) :].strip()
+            if rest.startswith("-") and rest[1:].strip():
+                continue
+            findings.append(
+                LintFinding(
+                    path=path,
+                    line=tok.start[0],
+                    col=tok.start[1],
+                    code="SAN001",
+                    severity="warning",
+                    message=(
+                        "bare '# sani: ok' with no reason: suppressions "
+                        "must say why, e.g. "
+                        "'# sani: ok - permutation scatter'"
+                    ),
+                )
+            )
+    except tokenize.TokenizeError:
+        pass  # SAN000 already covers unparsable files
+    return findings
+
+
 def _base_name(node: ast.expr) -> str | None:
     """The root ``Name`` of a subscript/attribute chain, if any."""
     while isinstance(node, (ast.Subscript, ast.Attribute)):
@@ -391,15 +438,28 @@ def _free_names(node: ast.expr) -> set[str]:
 
 
 class _WorkerInfo:
-    """Resolved worker function plus the names of its two parameters."""
+    """Resolved worker function plus the names of its two parameters.
 
-    __slots__ = ("node", "item", "ctx", "call_line")
+    ``items`` is the first argument of the ``parallel_for`` call (the
+    iterable of work items) — the SimFlow disjoint-write analysis uses
+    it to decide whether items are provably contiguous integers.
+    """
 
-    def __init__(self, node, item: str | None, ctx: str | None, call_line: int):
+    __slots__ = ("node", "item", "ctx", "call_line", "items")
+
+    def __init__(
+        self,
+        node,
+        item: str | None,
+        ctx: str | None,
+        call_line: int,
+        items: ast.expr | None = None,
+    ):
         self.node = node
         self.item = item
         self.ctx = ctx
         self.call_line = call_line
+        self.items = items
 
 
 def _worker_params(fn) -> tuple[str | None, str | None]:
@@ -422,6 +482,7 @@ def _find_workers(tree: ast.Module) -> list[_WorkerInfo]:
         if not (isinstance(func, ast.Attribute) and func.attr == "parallel_for"):
             continue
         worker_expr = None
+        items_expr = node.args[0] if node.args else None
         if len(node.args) >= 2:
             worker_expr = node.args[1]
         else:
@@ -434,7 +495,9 @@ def _find_workers(tree: ast.Module) -> list[_WorkerInfo]:
             args = worker_expr.args.posonlyargs + worker_expr.args.args
             item = args[0].arg if len(args) >= 1 else None
             ctx = args[1].arg if len(args) >= 2 else None
-            workers.append(_WorkerInfo(worker_expr, item, ctx, node.lineno))
+            workers.append(
+                _WorkerInfo(worker_expr, item, ctx, node.lineno, items_expr)
+            )
         elif isinstance(worker_expr, ast.Name):
             # nearest preceding def with that name (closures are defined
             # just above their parallel_for in this codebase's idiom)
@@ -446,7 +509,9 @@ def _find_workers(tree: ast.Module) -> list[_WorkerInfo]:
             if candidates:
                 fn = max(candidates, key=lambda d: d.lineno)
                 item, ctx = _worker_params(fn)
-                workers.append(_WorkerInfo(fn, item, ctx, node.lineno))
+                workers.append(
+                    _WorkerInfo(fn, item, ctx, node.lineno, items_expr)
+                )
     return workers
 
 
@@ -956,6 +1021,7 @@ def lint_source(source: str, path: str = "<string>") -> list[LintFinding]:
             ).run()
         )
     findings.extend(_ModuleLinter(tree, suppressed, path).run())
+    findings.extend(_bare_suppressions(source, path))
     findings.sort(key=lambda f: (f.line, f.col, f.code))
     return findings
 

@@ -29,7 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Mapping
 
-from repro.errors import WorkloadError
+from repro.errors import UnknownMetricError, WorkloadError
 from repro.search.metrics import get_metric
 
 __all__ = [
@@ -106,7 +106,10 @@ def normalize_request(request: Mapping, where: str = "request") -> Query:
         metric = request.get("metric", "average_degree")
         try:
             metric = get_metric(metric).name
-        except Exception:
+        except (UnknownMetricError, TypeError):
+            # TypeError: an unhashable JSON value (list/dict) as the
+            # name; anything else escaping get_metric is a real bug
+            # and must not be masked as a workload error
             raise WorkloadError(
                 f"{where}: field 'metric' names no registered metric: {metric!r}"
             ) from None
