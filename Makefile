@@ -1,10 +1,10 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check test sanitize memcheck lint flow profile bench-sanitize bench-profile bench-flow serve-bench
+.PHONY: check test sanitize memcheck lint flow profile bench-sanitize bench-profile bench-flow serve-bench bench-dynamic
 
-## check: the CI gate — tests, strict lint, flow analysis, kernel race+memcheck sweep, profiler selftest
-check: test lint flow sanitize memcheck profile
+## check: the CI gate — tests, strict lint, flow analysis, kernel race+memcheck sweep, profiler selftest, dynamic bench
+check: test lint flow sanitize memcheck profile bench-dynamic
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -48,3 +48,7 @@ bench-flow:
 ## serve-bench: refresh benchmarks/results/BENCH_serve.json (HCDServe replay)
 serve-bench:
 	$(PYTHON) benchmarks/bench_serve.py
+
+## bench-dynamic: refresh benchmarks/results/BENCH_dynamic.json (batched maintenance + delta publishing)
+bench-dynamic:
+	$(PYTHON) benchmarks/bench_dynamic.py

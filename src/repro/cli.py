@@ -831,7 +831,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
           f"(admitted {report.admitted}, shed {report.shed}, "
           f"invalid {report.invalid})")
     print(f"answers    : {report.computed} computed, {report.hits} cached, "
-          f"{report.coalesced} coalesced, {report.batches} batch(es)")
+          f"{report.shared} shared, {report.coalesced} coalesced, "
+          f"{report.batches} batch(es)")
     print(f"latency    : p50={report.p50:.0f} p95={report.p95:.0f} "
           f"p99={report.p99:.0f} work units")
     print(f"throughput : {report.throughput:.3f} answers / 1k work units")

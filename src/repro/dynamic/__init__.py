@@ -1,5 +1,18 @@
-"""Dynamic-graph extension: incremental coreness maintenance."""
+"""Dynamic-graph extension: incremental coreness maintenance.
 
+Per-edge traversal maintenance and batched parallel maintenance
+(:meth:`DynamicGraph.apply_batch` over :mod:`repro.dynamic.batch`)
+on a slack-capacity dynamic CSR (:mod:`repro.dynamic.dyncsr`).
+"""
+
+from repro.dynamic.batch import BatchUpdateReport, batch_repair, normalize_batch
+from repro.dynamic.dyncsr import DynamicCSR
 from repro.dynamic.maintenance import DynamicGraph
 
-__all__ = ["DynamicGraph"]
+__all__ = [
+    "BatchUpdateReport",
+    "DynamicCSR",
+    "DynamicGraph",
+    "batch_repair",
+    "normalize_batch",
+]

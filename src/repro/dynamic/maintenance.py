@@ -15,10 +15,23 @@ implements the classical *traversal* maintenance of the coreness array:
   lose (at most) one level; a localized peeling demotes exactly those
   whose support collapses.
 
-:class:`DynamicGraph` wraps an edge set with these updates and rebuilds
-the HCD lazily — full dynamic *hierarchy* maintenance (the paper's
-[15]) is out of scope, but because coreness stays incrementally
-correct, the rebuild runs PHCD on a ready decomposition.
+Batches go through :meth:`DynamicGraph.apply_batch` instead, which
+applies every structural mutation first and then runs the level-grouped
+**parallel** repair of :mod:`repro.dynamic.batch` — the joint subcore
+of each affected level is collected once for the whole batch rather
+than once per edge.
+
+The adjacency is a slack-capacity :class:`~repro.dynamic.dyncsr.DynamicCSR`
+(sorted rows over a shared buffer), so :meth:`DynamicGraph.to_graph`
+is a vectorized gather rather than an O(n + m) Python loop.
+
+:class:`DynamicGraph` rebuilds the HCD lazily — full dynamic
+*hierarchy* maintenance (the paper's [15]) is out of scope, but because
+coreness stays incrementally correct, the rebuild runs PHCD on a ready
+decomposition.  For delta snapshotting
+(:func:`repro.serve.snapshot.snapshot_from_dynamic` with
+``previous=``), the graph tracks which vertices had their adjacency or
+coreness touched since the last :meth:`clear_dirty`.
 
 Correctness is checked property-style in the test suite against full
 recomputation after random update sequences.
@@ -31,6 +44,8 @@ import numpy as np
 from repro.core.decomposition import core_decomposition
 from repro.core.hcd import HCD
 from repro.core.phcd import phcd_build_hcd
+from repro.dynamic.batch import BatchUpdateReport, batch_repair, normalize_batch
+from repro.dynamic.dyncsr import DynamicCSR
 from repro.errors import GraphBuildError
 from repro.graph.graph import Graph
 from repro.parallel.scheduler import SimulatedPool
@@ -49,13 +64,12 @@ class DynamicGraph:
 
     def __init__(self, graph: Graph) -> None:
         self._n = graph.num_vertices
-        self._adj: list[set[int]] = [
-            set(int(u) for u in graph.neighbors(v)) for v in range(self._n)
-        ]
+        self._acsr = DynamicCSR.from_graph(graph)
         self._coreness = core_decomposition(graph).astype(np.int64)
-        self._m = graph.num_edges
         self._hcd_cache: HCD | None = None
         self._mutations = 0
+        self._dirty_adj: set[int] = set()
+        self._dirty_core: set[int] = set()
 
     # ------------------------------------------------------------------
     # accessors
@@ -67,7 +81,7 @@ class DynamicGraph:
 
     @property
     def num_edges(self) -> int:
-        return self._m
+        return self._acsr.num_edges
 
     @property
     def mutation_count(self) -> int:
@@ -82,14 +96,35 @@ class DynamicGraph:
         return view
 
     def has_edge(self, u: int, v: int) -> bool:
-        return v in self._adj[u]
+        """Whether edge ``{u, v}`` is present.
+
+        Endpoints are validated: out-of-range vertices — including
+        negative ids, which a raw Python container would silently wrap
+        onto the tail of the vertex array — raise
+        :class:`~repro.errors.GraphBuildError`.  ``has_edge(u, u)`` is
+        ``False`` (self-loops cannot exist).
+        """
+        u, v = int(u), int(v)
+        if not (0 <= u < self._n and 0 <= v < self._n):
+            raise GraphBuildError(
+                f"endpoint out of range: ({u}, {v}) for {self._n} vertices"
+            )
+        if u == v:
+            return False
+        return self._acsr.has(u, v)
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Sorted neighbor row of ``v`` (read-only view)."""
+        return self._acsr.neighbors(int(v))
 
     def to_graph(self) -> Graph:
-        """Materialize the current edge set as an immutable Graph."""
-        edges = [
-            (u, v) for u in range(self._n) for v in self._adj[u] if u < v
-        ]
-        return Graph.from_edges(edges, num_vertices=self._n)
+        """Materialize the current edge set as an immutable Graph.
+
+        A vectorized gather out of the dynamic CSR — no per-edge
+        Python loop, and no re-validation (rows are kept sorted and
+        deduplicated by construction).
+        """
+        return self._acsr.to_csr()
 
     def hcd(self, threads: int = 1) -> HCD:
         """The hierarchy for the current edge set.
@@ -106,20 +141,36 @@ class DynamicGraph:
         return self._hcd_cache
 
     # ------------------------------------------------------------------
-    # updates
+    # dirty tracking (delta snapshots)
+    # ------------------------------------------------------------------
+
+    @property
+    def dirty_adjacency(self) -> frozenset[int]:
+        """Vertices whose rows changed since :meth:`clear_dirty`."""
+        return frozenset(self._dirty_adj)
+
+    @property
+    def dirty_coreness(self) -> frozenset[int]:
+        """Vertices whose coreness changed since :meth:`clear_dirty`."""
+        return frozenset(self._dirty_core)
+
+    def clear_dirty(self) -> None:
+        """Reset dirty tracking (called after a snapshot consumes it)."""
+        self._dirty_adj.clear()
+        self._dirty_core.clear()
+
+    # ------------------------------------------------------------------
+    # single-edge updates
     # ------------------------------------------------------------------
 
     def insert_edge(self, u: int, v: int) -> None:
         """Add ``{u, v}`` and repair coreness (traversal insertion)."""
         u, v = int(u), int(v)
         self._check_endpoints(u, v)
-        if v in self._adj[u]:
+        if self._acsr.has(u, v):
             raise GraphBuildError(f"edge ({u}, {v}) already present")
-        self._adj[u].add(v)
-        self._adj[v].add(u)
-        self._m += 1
-        self._hcd_cache = None
-        self._mutations += 1
+        self._acsr.insert(u, v)
+        self._note_mutation(u, v)
 
         c = self._coreness
         k = int(min(c[u], c[v]))
@@ -134,13 +185,10 @@ class DynamicGraph:
         """Remove ``{u, v}`` and repair coreness (traversal deletion)."""
         u, v = int(u), int(v)
         self._check_endpoints(u, v)
-        if v not in self._adj[u]:
+        if not self._acsr.has(u, v):
             raise GraphBuildError(f"edge ({u}, {v}) not present")
-        self._adj[u].remove(v)
-        self._adj[v].remove(u)
-        self._m -= 1
-        self._hcd_cache = None
-        self._mutations += 1
+        self._acsr.remove(u, v)
+        self._note_mutation(u, v)
 
         c = self._coreness
         k = int(min(c[u], c[v]))
@@ -151,27 +199,122 @@ class DynamicGraph:
                 affected |= self._subcore(x, k)
         self._demote(affected, k)
 
-    def insert_edges(self, edges) -> int:
-        """Insert a batch of edges (duplicates skipped); returns count."""
-        applied = 0
-        for u, v in edges:
-            if not self.has_edge(int(u), int(v)) and int(u) != int(v):
-                self.insert_edge(int(u), int(v))
-                applied += 1
-        return applied
+    # ------------------------------------------------------------------
+    # batch updates
+    # ------------------------------------------------------------------
 
-    def delete_edges(self, edges) -> int:
-        """Delete a batch of edges (absent ones skipped); returns count."""
-        applied = 0
-        for u, v in edges:
-            if self.has_edge(int(u), int(v)):
-                self.delete_edge(int(u), int(v))
-                applied += 1
-        return applied
+    def insert_edges(self, edges) -> BatchUpdateReport:
+        """Insert a batch of edges through per-edge repair.
+
+        The whole batch is validated **before** anything is applied —
+        a bad endpoint raises with the graph untouched (the old
+        behavior left every earlier mutation applied).  Skip policy:
+        self-loops, within-batch duplicates (including reversed
+        ``(v, u)`` repeats), and already-present edges are skipped and
+        reported, never silently dropped.
+        """
+        canonical, skipped = normalize_batch(edges, self._n, where="insert_edges")
+        report = BatchUpdateReport(skipped=skipped)
+        for u, v in canonical:
+            if self._acsr.has(u, v):
+                report.skipped.append((u, v, "present"))
+                continue
+            before = self._dirty_core_mark()
+            self.insert_edge(u, v)
+            report.applied_insertions.append((u, v))
+            report.changed += self._dirty_core_delta(before)
+        return report
+
+    def delete_edges(self, edges) -> BatchUpdateReport:
+        """Delete a batch of edges through per-edge repair.
+
+        Validation and reporting mirror :meth:`insert_edges`; absent
+        edges are skipped with reason ``"absent"``.
+        """
+        canonical, skipped = normalize_batch(edges, self._n, where="delete_edges")
+        report = BatchUpdateReport(skipped=skipped)
+        for u, v in canonical:
+            if not self._acsr.has(u, v):
+                report.skipped.append((u, v, "absent"))
+                continue
+            before = self._dirty_core_mark()
+            self.delete_edge(u, v)
+            report.applied_deletions.append((u, v))
+            report.changed += self._dirty_core_delta(before)
+        return report
+
+    def apply_batch(
+        self,
+        insertions=(),
+        deletions=(),
+        pool: SimulatedPool | None = None,
+        threads: int = 1,
+    ) -> BatchUpdateReport:
+        """Apply a batch of updates with level-grouped parallel repair.
+
+        Both lists are validated up front (atomicity: a bad endpoint
+        raises before any mutation); insertions are applied first, then
+        deletions, then one :func:`~repro.dynamic.batch.batch_repair`
+        pass repairs coreness for the whole batch at once.  The repair
+        runs as ``parallel_for`` kernels on ``pool`` (or a fresh
+        ``threads``-wide pool) and is bit-identical to per-edge
+        maintenance at any thread count.
+
+        Skip policy matches :meth:`insert_edges` / :meth:`delete_edges`:
+        self-loops, duplicates, already-present insertions, and absent
+        deletions are reported in ``skipped``.
+        """
+        ins, skipped_i = normalize_batch(insertions, self._n, where="insertions")
+        dels, skipped_d = normalize_batch(deletions, self._n, where="deletions")
+        report = BatchUpdateReport(skipped=skipped_i + skipped_d)
+        for u, v in ins:
+            if self._acsr.has(u, v):
+                report.skipped.append((u, v, "present"))
+            else:
+                self._acsr.insert(u, v)
+                report.applied_insertions.append((u, v))
+        for u, v in dels:
+            if not self._acsr.has(u, v):
+                report.skipped.append((u, v, "absent"))
+            else:
+                self._acsr.remove(u, v)
+                report.applied_deletions.append((u, v))
+        if not report.applied:
+            return report
+        for u, v in report.applied_insertions + report.applied_deletions:
+            self._note_mutation(u, v)
+        if pool is None:
+            pool = SimulatedPool(threads=threads)
+        with pool.phase("dynamic.batch"):
+            changed, rounds = batch_repair(
+                self._acsr,
+                self._coreness,
+                inserted=report.applied_insertions,
+                deleted=report.applied_deletions,
+                pool=pool,
+            )
+        self._dirty_core.update(changed)
+        report.changed = len(changed)
+        report.rounds = rounds
+        return report
 
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
+
+    def _note_mutation(self, u: int, v: int) -> None:
+        self._m_invalidate()
+        self._mutations += 1
+        self._dirty_adj.update((u, v))
+
+    def _m_invalidate(self) -> None:
+        self._hcd_cache = None
+
+    def _dirty_core_mark(self) -> int:
+        return len(self._dirty_core)
+
+    def _dirty_core_delta(self, before: int) -> int:
+        return len(self._dirty_core) - before
 
     def _check_endpoints(self, u: int, v: int) -> None:
         if not (0 <= u < self._n and 0 <= v < self._n):
@@ -190,7 +333,8 @@ class DynamicGraph:
         stack = [root]
         while stack:
             x = stack.pop()
-            for y in self._adj[x]:
+            for y in self._acsr.neighbors(x):
+                y = int(y)
                 if c[y] == k and y not in seen:
                     seen.add(y)
                     stack.append(y)
@@ -210,7 +354,8 @@ class DynamicGraph:
         stack = [start]
         while stack:
             x = stack.pop()
-            for y in self._adj[x]:
+            for y in self._acsr.neighbors(x):
+                y = int(y)
                 if c[y] == k and y not in seen:
                     seen.add(y)
                     out.append(y)
@@ -234,14 +379,15 @@ class DynamicGraph:
             for x in list(alive):
                 support = sum(
                     1
-                    for y in self._adj[x]
-                    if (y in alive) or c[y] > k
+                    for y in self._acsr.neighbors(x)
+                    if (int(y) in alive) or c[y] > k
                 )
                 if support <= k:
                     alive.remove(x)
                     changed = True
         for x in alive:
             c[x] = k + 1
+        self._dirty_core.update(alive)
 
     def _demote(self, affected: set[int], k: int) -> None:
         """Localized peeling at level k over the affected set.
@@ -259,8 +405,8 @@ class DynamicGraph:
             for x in list(alive):
                 support = sum(
                     1
-                    for y in self._adj[x]
-                    if (c[y] > k) or (c[y] == k and y not in dropped)
+                    for y in self._acsr.neighbors(x)
+                    if (c[y] > k) or (c[y] == k and int(y) not in dropped)
                 )
                 if support < k:
                     alive.remove(x)
@@ -268,3 +414,4 @@ class DynamicGraph:
                     changed = True
         for x in dropped:
             c[x] = k - 1
+        self._dirty_core.update(dropped)

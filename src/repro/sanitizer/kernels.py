@@ -185,6 +185,57 @@ def _kernel_serve_batch(pool: SimulatedPool) -> None:
     SnapshotExecutor(snapshot, pool).execute(plan)
 
 
+def _dynamic_workload(seed: int):
+    """A mutated DynamicCSR + pre-batch coreness + applied edge lists."""
+    from repro.core.decomposition import core_decomposition
+    from repro.dynamic.dyncsr import DynamicCSR
+
+    graph = powerlaw_cluster(180, 3, 0.3, seed=seed)
+    coreness = core_decomposition(graph).astype(np.int64)
+    acsr = DynamicCSR.from_graph(graph)
+    rng = np.random.default_rng(seed)
+    present = {tuple(e) for e in graph.edge_array().tolist()}
+    deleted = sorted(present)[:: max(1, len(present) // 8)][:12]
+    inserted = []
+    while len(inserted) < 12:
+        u, v = sorted(rng.integers(0, 180, 2).tolist())
+        if u != v and (u, v) not in present:
+            present.add((u, v))
+            inserted.append((u, v))
+    for u, v in inserted:
+        acsr.insert(u, v)
+    for u, v in deleted:
+        acsr.remove(u, v)
+    return acsr, coreness, inserted, deleted
+
+
+def _kernel_dynamic_batch(pool: SimulatedPool) -> None:
+    from repro.dynamic.batch import batch_repair
+
+    # batched parallel coreness maintenance: joint subcore collection,
+    # two-phase localized peels, and the verification sweeps, for a
+    # mixed insertion/deletion batch
+    acsr, coreness, inserted, deleted = _dynamic_workload(seed=19)
+    batch_repair(acsr, coreness, inserted=inserted, deleted=deleted, pool=pool)
+
+
+def _kernel_dynamic_publish(pool: SimulatedPool) -> None:
+    from repro.dynamic.maintenance import DynamicGraph
+    from repro.serve.snapshot import snapshot_from_dynamic
+
+    # the delta-publish path: batched repair through DynamicGraph, then
+    # a snapshot refresh that reuses clean rows from the previous
+    # version (dirty-row recount kernel included)
+    graph = powerlaw_cluster(140, 3, 0.3, seed=27)
+    dyn = DynamicGraph(graph)
+    base = snapshot_from_dynamic(dyn, pool=pool, name="sanitize-dyn")
+    edges = graph.edge_array()
+    deletions = [tuple(e) for e in edges[:: max(1, len(edges) // 6)][:8].tolist()]
+    insertions = [(0, 130), (1, 131), (2, 132), (3, 133)]
+    dyn.apply_batch(insertions=insertions, deletions=deletions, pool=pool)
+    snapshot_from_dynamic(dyn, pool=pool, name="sanitize-dyn", previous=base)
+
+
 #: Registry of named kernels; order is the ``--all-kernels`` run order.
 KERNELS: dict[str, object] = {
     "pkc": _kernel_pkc,
@@ -197,6 +248,8 @@ KERNELS: dict[str, object] = {
     "unionfind_waitfree": _kernel_unionfind_waitfree,
     "vertex_rank": _kernel_vertex_rank,
     "serve_batch": _kernel_serve_batch,
+    "dynamic_batch": _kernel_dynamic_batch,
+    "dynamic_publish": _kernel_dynamic_publish,
 }
 
 
@@ -346,6 +399,52 @@ KERNEL_EFFECTS: dict[str, dict[str, tuple[str, ...]]] = {
         ),
         "writes": ("bins", "coreness", "next_parts", "pkc_core", "rank"),
         "atomics": ("HL", "degree"),
+    },
+    "dynamic_batch": {
+        "reads": (
+            "alive",
+            "coreness",
+            "dropped",
+            "indices",
+            "indptr",
+            "next_parts",
+            "out_parts",
+            "row_len",
+            "seed_parts",
+            "supp",
+        ),
+        "writes": (
+            "alive",
+            "coreness",
+            "dropped",
+            "next_parts",
+            "out_parts",
+            "seed_parts",
+            "supp",
+        ),
+        "atomics": ("visited",),
+    },
+    "dynamic_publish": {
+        "reads": ("bins", "coreness", "indices", "indptr", "vsort"),
+        "writes": (
+            "bins",
+            "counts_eq",
+            "counts_gt",
+            "eq",
+            "gt",
+            "hcd_parent",
+            "pre_counts",
+            "rank",
+            "tid",
+        ),
+        "atomics": (
+            "HL",
+            "hcd_nodes",
+            "kpc_pivot",
+            "node_members",
+            "tid_arr",
+            "uf",
+        ),
     },
     "serve_batch": {
         "reads": (

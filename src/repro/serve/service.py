@@ -96,7 +96,7 @@ class RequestRecord:
 
     rid: int
     fingerprint: str   # "" for shed/invalid requests
-    status: str        # "ok" | "hit" | "shed" | "invalid"
+    status: str        # "ok" | "hit" | "shared" | "shed" | "invalid"
     arrival: float     # work-unit timestamp from the trace
     latency: float     # completion - arrival, in work units (0 if shed)
     batch: int         # batch index that answered it (-1 if never batched)
@@ -149,6 +149,7 @@ class ServiceReport:
     invalid: int = 0
     hits: int = 0
     computed: int = 0
+    shared: int = 0
     coalesced: int = 0
     batches: int = 0
     work_units: float = 0.0    # thread-count-independent service clock
@@ -159,7 +160,9 @@ class ServiceReport:
     def latencies(self) -> list[float]:
         """Latencies of every answered request, in trace order."""
         return [
-            r.latency for r in self.records if r.status in ("ok", "hit")
+            r.latency
+            for r in self.records
+            if r.status in ("ok", "hit", "shared")
         ]
 
     @property
@@ -195,6 +198,7 @@ class ServiceReport:
             "invalid": self.invalid,
             "hits": self.hits,
             "computed": self.computed,
+            "shared": self.shared,
             "coalesced": self.coalesced,
             "batches": self.batches,
             "latency": {
@@ -406,13 +410,26 @@ class HCDService:
                 drain()
 
             # ---- complete --------------------------------------------
+            # The leader (first requester) of each fingerprint is the
+            # request whose outcome reflects real work: a cache probe
+            # ("hit") or an executor computation ("ok").  Coalesced
+            # followers ride on the leader's result and are recorded as
+            # "shared" — counting them as computed would overstate
+            # executor work against BatchPlan.coalesced and the
+            # ResultCache counters (hits + computed + shared reconciles
+            # with both).
             completion = now
+            leaders = {fp: rids[0] for fp, rids in plan.requesters.items()}
             for rid, arrival, query in normalized:
                 fingerprint = query.fingerprint
-                status = "hit" if fingerprint in hits else "ok"
-                if status == "hit":
+                if leaders.get(fingerprint) != rid:
+                    status = "shared"
+                    report.shared += 1
+                elif fingerprint in hits:
+                    status = "hit"
                     report.hits += 1
                 else:
+                    status = "ok"
                     report.computed += 1
                 report.records.append(
                     RequestRecord(
@@ -440,12 +457,24 @@ class HCDService:
 class DynamicServingFeed:
     """Bridge a maintained :class:`~repro.dynamic.DynamicGraph` into a catalog.
 
-    Every edge mutation applies the traversal-maintenance update (the
-    coreness array is adjusted, never recomputed) and publishes the
-    refreshed state as a **new snapshot version** under the feed's
-    name.  A service polling :meth:`HCDService.refresh` picks the new
-    version up on its next replay; result-cache entries of the old
-    version are implicitly dead because cache keys embed the version.
+    Edge mutations apply the traversal-maintenance update (the coreness
+    array is adjusted, never recomputed) and the refreshed state is
+    published as a **new snapshot version** under the feed's name.  A
+    service polling :meth:`HCDService.refresh` picks the new version up
+    on its next replay; result-cache entries of the old version are
+    implicitly dead because cache keys embed the version.
+
+    Publishing is **debounced**: with ``publish_every=N`` the feed
+    coalesces N mutations into one published version (mutation methods
+    return the new version number, or ``None`` while buffered);
+    :meth:`flush` forces out whatever is pending.  The default
+    ``publish_every=1`` preserves publish-per-mutation behavior.
+
+    Every publish after the first is a **delta publish**: the previous
+    snapshot is handed to :func:`~repro.serve.snapshot.snapshot_from_dynamic`
+    so unchanged arrays (vertex rank when coreness is untouched, the
+    neighbor-coreness counts of clean rows) are reused instead of
+    recomputed.
     """
 
     def __init__(
@@ -454,28 +483,80 @@ class DynamicServingFeed:
         catalog: SnapshotCatalog,
         name: str,
         threads: int = 4,
+        publish_every: int = 1,
+        pool: SimulatedPool | None = None,
     ) -> None:
+        if publish_every < 1:
+            raise ValueError("publish_every must be >= 1")
         self.dyn = dyn
         self.catalog = catalog
         self.name = name
         self.threads = int(threads)
+        self.publish_every = int(publish_every)
+        self.pool = pool
+        self._pending = 0
+        self._last_snapshot = None
+
+    @property
+    def pending_mutations(self) -> int:
+        """Mutations applied since the last publish."""
+        return self._pending
 
     def publish(self) -> int:
         """Snapshot the dynamic graph's current state; return the version."""
         snapshot = snapshot_from_dynamic(
-            self.dyn, threads=self.threads, name=self.name
+            self.dyn,
+            threads=self.threads,
+            pool=self.pool,
+            name=self.name,
+            previous=self._last_snapshot,
         )
-        return self.catalog.publish(snapshot)
+        version = self.catalog.publish(snapshot)
+        self._last_snapshot = snapshot
+        self._pending = 0
+        return version
 
-    def insert_edge(self, u: int, v: int) -> int:
-        """Apply an edge insertion and publish the refreshed snapshot."""
+    def flush(self) -> int | None:
+        """Publish buffered mutations, if any; return the new version."""
+        if self._pending == 0:
+            return None
+        return self.publish()
+
+    def _after_mutations(self, count: int) -> int | None:
+        self._pending += count
+        if self._pending >= self.publish_every:
+            return self.publish()
+        return None
+
+    def insert_edge(self, u: int, v: int) -> int | None:
+        """Apply an edge insertion; publish once the debounce window fills."""
         self.dyn.insert_edge(u, v)
-        return self.publish()
+        return self._after_mutations(1)
 
-    def delete_edge(self, u: int, v: int) -> int:
-        """Apply an edge deletion and publish the refreshed snapshot."""
+    def delete_edge(self, u: int, v: int) -> int | None:
+        """Apply an edge deletion; publish once the debounce window fills."""
         self.dyn.delete_edge(u, v)
-        return self.publish()
+        return self._after_mutations(1)
+
+    def apply_batch(self, insertions=(), deletions=()) -> int | None:
+        """Apply a batched update via the parallel maintenance kernels.
+
+        Runs :meth:`DynamicGraph.apply_batch` (one level-grouped repair
+        for the whole batch) and counts every applied mutation against
+        the debounce window.  Returns the published version, or
+        ``None`` while buffered.
+        """
+        if self.pool is not None:
+            report = self.dyn.apply_batch(
+                insertions=insertions, deletions=deletions, pool=self.pool
+            )
+        else:
+            report = self.dyn.apply_batch(
+                insertions=insertions, deletions=deletions, threads=self.threads
+            )
+        if report.applied == 0:
+            return None
+        return self._after_mutations(report.applied)
 
 
 # ----------------------------------------------------------------------

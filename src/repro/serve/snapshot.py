@@ -416,11 +416,55 @@ def build_snapshot(
     )
 
 
+def _delta_neighbor_counts(
+    graph: Graph,
+    coreness: np.ndarray,
+    base: NeighborCorenessCounts,
+    rows: list[int],
+    pool: SimulatedPool,
+) -> NeighborCorenessCounts:
+    """Recompute the neighbor-coreness counts of ``rows`` only.
+
+    Clean rows keep the previous snapshot's values; each dirty row is
+    recounted against the *current* graph and coreness in one
+    ``parallel_for`` (disjoint per-row writes).
+    """
+    indptr = graph.indptr
+    indices = graph.indices
+    gt = np.array(base.gt, dtype=np.int64)
+    eq = np.array(base.eq, dtype=np.int64)
+
+    def recount(v, ctx) -> None:
+        vi = int(v)
+        start = int(indptr[vi])
+        end = int(indptr[vi + 1])
+        cv = int(coreness[vi])
+        above = 0
+        equal = 0
+        for j in range(start, end):
+            y = int(indices[j])
+            ctx.read(("coreness", y))
+            cy = int(coreness[y])
+            if cy > cv:
+                above += 1
+            elif cy == cv:
+                equal += 1
+        ctx.write(("counts_gt", vi))
+        gt[vi] = above
+        ctx.write(("counts_eq", vi))
+        eq[vi] = equal
+
+    pool.parallel_for(rows, recount, label="serve_delta_counts")
+    lt = graph.degrees() - gt - eq
+    return NeighborCorenessCounts(gt=gt, eq=eq, lt=lt)
+
+
 def snapshot_from_dynamic(
     dyn,
     threads: int = 4,
     pool: SimulatedPool | None = None,
     name: str = "snapshot",
+    previous: "Snapshot | None" = None,
 ) -> Snapshot:
     """Snapshot the current state of a :class:`~repro.dynamic.DynamicGraph`.
 
@@ -428,6 +472,24 @@ def snapshot_from_dynamic(
     *reused* (the whole point of traversal maintenance — no fresh core
     decomposition), so only the HCD rebuild, the vertex rank, and the
     preprocessing pass are paid per refresh.
+
+    With ``previous`` (the snapshot published from this same ``dyn``
+    when its dirty tracking was last cleared), the refresh is a
+    **delta publish**:
+
+    * the vertex rank is reused outright when the coreness array is
+      unchanged (rank depends only on coreness);
+    * the neighbor-coreness counts are recomputed only for *dirty*
+      rows — endpoints of mutated edges, coreness-changed vertices,
+      and their current neighbors — under the SimProf phase
+      ``dynamic.delta-counts``; clean rows are copied from
+      ``previous``.
+
+    Each call **consumes** the graph's dirty tracking
+    (:meth:`~repro.dynamic.DynamicGraph.clear_dirty`), establishing the
+    new snapshot as the baseline for the next delta.  The HCD forest is
+    always rebuilt: an edge mutation can merge or split k-core
+    components even when no coreness value moves.
     """
     from repro.core.phcd import phcd_build_hcd
     from repro.core.vertex_rank import compute_vertex_rank
@@ -436,11 +498,35 @@ def snapshot_from_dynamic(
         pool = SimulatedPool(threads=threads)
     graph = dyn.to_graph()
     coreness = np.array(dyn.coreness, dtype=np.int64)
-    with pool.phase("hcd"):
-        rank_result = compute_vertex_rank(graph, coreness, pool)
+    n = graph.num_vertices
+    dirty_adj = set(getattr(dyn, "dirty_adjacency", frozenset()))
+    dirty_core = set(getattr(dyn, "dirty_coreness", frozenset()))
+    delta = previous is not None and previous.graph.num_vertices == n
+    reused: list[str] = []
+
+    rank_result = None
+    if delta and np.array_equal(coreness, previous.coreness):
+        rank_result = previous.rank_result
+        reused.append("rank")
+    with pool.phase("dynamic.hcd" if delta else "hcd"):
+        if rank_result is None:
+            rank_result = compute_vertex_rank(graph, coreness, pool)
         hcd = phcd_build_hcd(graph, coreness, pool, rank_result=rank_result)
-    with pool.phase("preprocessing"):
-        counts = preprocess_neighbor_counts(graph, coreness, pool)
+    if delta:
+        rows = dirty_adj | dirty_core
+        for v in dirty_core:
+            rows.update(int(y) for y in graph.neighbors(int(v)))
+        with pool.phase("dynamic.delta-counts"):
+            counts = _delta_neighbor_counts(
+                graph, coreness, previous.counts, sorted(rows), pool
+            )
+        reused.append(f"counts(clean={n - len(rows)})")
+    else:
+        with pool.phase("preprocessing"):
+            counts = preprocess_neighbor_counts(graph, coreness, pool)
+    clear = getattr(dyn, "clear_dirty", None)
+    if clear is not None:
+        clear()
     return Snapshot(
         graph=graph,
         coreness=coreness,
@@ -452,5 +538,6 @@ def snapshot_from_dynamic(
             "threads": pool.threads,
             "algorithm": "dynamic+phcd",
             "source": f"dynamic(mutations={getattr(dyn, 'mutation_count', 0)})",
+            "delta": ",".join(reused) if reused else ("full" if delta else ""),
         },
     )

@@ -169,15 +169,18 @@ class TestBatchUpdates:
         dyn = DynamicGraph(
             Graph.from_edges([(0, 1), (1, 2), (0, 2)], num_vertices=4)
         )
-        applied = dyn.insert_edges([(0, 1), (0, 0), (1, 3), (3, 2)])
-        assert applied == 2
+        report = dyn.insert_edges([(0, 1), (0, 0), (1, 3), (3, 2)])
+        assert report.applied == 2
+        assert (0, 0, "self-loop") in report.skipped
+        assert (0, 1, "present") in report.skipped
         assert dyn.num_edges == 5
         assert np.array_equal(dyn.coreness, recompute(dyn))
 
     def test_delete_batch_skips_absent(self):
         dyn = DynamicGraph(Graph.from_edges([(0, 1), (1, 2), (0, 2), (2, 3)]))
-        applied = dyn.delete_edges([(2, 3), (0, 3)])
-        assert applied == 1
+        report = dyn.delete_edges([(2, 3), (0, 3)])
+        assert report.applied == 1
+        assert (0, 3, "absent") in report.skipped
         assert np.array_equal(dyn.coreness, recompute(dyn))
 
     def test_hcd_cache_reused_and_invalidated(self, paper_like_graph):

@@ -471,8 +471,14 @@ class TestService:
         report = service.serve(trace)
         assert len(report.records) == 40
         assert report.admitted + report.shed == 40
-        answered = report.computed + report.hits
+        answered = report.computed + report.hits + report.shared
         assert answered + report.shed + report.invalid == 40
+        # executor/cache reconciliation: every computed record is a real
+        # cache miss, every hit record a real cache hit, and dedup
+        # followers are exactly the planner's coalesced count
+        assert report.computed == report.cache["misses"]
+        assert report.hits == report.cache["hits"]
+        assert report.shared == report.coalesced
         assert [r.rid for r in report.records] == list(range(40))
         assert report.work_units > 0
         assert report.sim_clock > 0
