@@ -1,10 +1,10 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check test sanitize memcheck lint flow profile bench-sanitize bench-profile bench-flow serve-bench bench-dynamic
+.PHONY: check test sanitize memcheck lint flow prove profile bench-sanitize bench-profile bench-flow bench-prove serve-bench bench-dynamic
 
-## check: the CI gate — tests, strict lint, flow analysis, kernel race+memcheck sweep, profiler selftest, dynamic bench
-check: test lint flow sanitize memcheck profile bench-dynamic
+## check: the CI gate — tests, strict lint, flow analysis, prove certification, kernel race+memcheck sweep, profiler selftest, dynamic + prove benches
+check: test lint flow prove sanitize memcheck profile bench-dynamic bench-prove
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -29,6 +29,11 @@ flow:
 	$(PYTHON) -m repro sanitize --strict --flow --all-kernels
 	$(PYTHON) -m repro sanitize --flow --selftest
 
+## prove: SimProve SAN5xx certification — bounds proofs, determinism, manifest drift
+prove:
+	$(PYTHON) -m repro sanitize --strict --prove
+	$(PYTHON) -m repro sanitize --prove --selftest
+
 ## profile: SimProf zero-perturbation selftest
 profile:
 	$(PYTHON) -m repro profile --selftest
@@ -44,6 +49,10 @@ bench-profile:
 ## bench-flow: refresh benchmarks/results/BENCH_flow.json (SimFlow wall-time)
 bench-flow:
 	$(PYTHON) benchmarks/bench_flow.py
+
+## bench-prove: refresh benchmarks/results/BENCH_prove.json (certification + barrier elision)
+bench-prove:
+	$(PYTHON) benchmarks/bench_prove.py
 
 ## serve-bench: refresh benchmarks/results/BENCH_serve.json (HCDServe replay)
 serve-bench:

@@ -103,16 +103,19 @@ def build_parser() -> argparse.ArgumentParser:
             "SimTSan race detector over the named parallel kernels, "
             "the SimCheck memory & numeric sanitizer (--memcheck), "
             "the static SAN1xx-SAN3xx lint pass over source trees, "
-            "the SimFlow SAN4xx CFG/dataflow analysis (--flow), and "
-            "the seeded-bug selftests.  With no options: all kernels, "
-            "lint + flow over src/ and benchmarks/, and the selftests."
+            "the SimFlow SAN4xx CFG/dataflow analysis (--flow), the "
+            "SimProve SAN5xx static bounds/determinism certification "
+            "(--prove), and the seeded-bug selftests.  With no "
+            "options: all kernels, lint + flow + prove over src/ and "
+            "benchmarks/, and the selftests."
         ),
         epilog=(
             "Exit status: 0 when every family that ran is clean; "
             "1 when ANY family reports (a race, a memcheck finding, "
-            "a lint or flow error — any finding under --strict — or "
-            "a failed selftest); 2 on usage errors.  One summary line "
-            "is printed per family."
+            "a lint or flow error, a SAN501 provable OOB, prove-"
+            "manifest drift, a stale flow-baseline entry or any "
+            "warning under --strict, or a failed selftest); 2 on "
+            "usage errors.  One summary line is printed per family."
         ),
     )
     p_san.add_argument(
@@ -167,6 +170,26 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "acknowledged-drift baseline for SAN4xx findings "
             "(default: the committed flow_baseline.json)"
+        ),
+    )
+    p_san.add_argument(
+        "--prove",
+        action="store_true",
+        help=(
+            "run the SimProve SAN5xx static certification: fixpoint "
+            "interval bounds proofs for every recorded access "
+            "(SAN501 provable OOB, SAN502 unproven), determinism "
+            "classification of combining atomics (SAN503 order-"
+            "sensitive float reductions), and drift detection "
+            "against the committed prove_manifest.json"
+        ),
+    )
+    p_san.add_argument(
+        "--write-manifest",
+        action="store_true",
+        help=(
+            "re-prove every kernel and refresh the committed "
+            "prove_manifest.json instead of failing on drift"
         ),
     )
     p_san.add_argument(
@@ -429,6 +452,8 @@ def _cmd_sanitize(args: argparse.Namespace) -> int:
         or args.lint is not None
         or args.selftest
         or args.flow
+        or args.prove
+        or args.write_manifest
     )
     default_scope = [p for p in ("src", "benchmarks") if Path(p).exists()]
     do_kernels = list(args.kernel)
@@ -436,13 +461,19 @@ def _cmd_sanitize(args: argparse.Namespace) -> int:
         do_kernels = list(KERNELS)
     do_lint = args.lint if args.lint is not None else (
         None
-        if args.selftest or args.kernel or args.all_kernels or args.flow
+        if args.selftest
+        or args.kernel
+        or args.all_kernels
+        or args.flow
+        or args.prove
+        or args.write_manifest
         else list(default_scope)
     )
     if args.lint is not None and not args.lint:
         do_lint = list(default_scope)
     do_selftest = args.selftest or not explicit
     do_flow = args.flow or not explicit
+    do_prove = args.prove or args.write_manifest or not explicit
     # SimFlow analyzes the lint scope (or the default scope when only
     # --flow was given); effect signatures cover the selected kernels
     flow_paths = do_lint if do_lint else list(default_scope)
@@ -462,7 +493,10 @@ def _cmd_sanitize(args: argparse.Namespace) -> int:
 
     # per-family results: family -> (failure_count, summary_suffix)
     families: dict[str, tuple[int, str]] = {}
-    report_json: dict[str, object] = {"threads": args.threads}
+    report_json: dict[str, object] = {
+        "schema": "sanitize-report/v1",
+        "threads": args.threads,
+    }
 
     if do_kernels:
         mode = "races + memcheck" if args.memcheck else "race detection"
@@ -514,6 +548,7 @@ def _cmd_sanitize(args: argparse.Namespace) -> int:
     flow_report = None
     flow_active: list = []
     flow_baselined: list = []
+    flow_stale: list[str] = []
     downgrade_lines: set[tuple[str, int]] = set()
     if do_flow:
         from repro.sanitizer.flow import (
@@ -521,6 +556,7 @@ def _cmd_sanitize(args: argparse.Namespace) -> int:
             apply_baseline,
             check_kernel_effects,
             load_baseline,
+            stale_baseline_entries,
         )
 
         missing = [p for p in flow_paths if not Path(p).exists()]
@@ -546,6 +582,7 @@ def _cmd_sanitize(args: argparse.Namespace) -> int:
         flow_active, flow_baselined = apply_baseline(
             flow_report.findings, baseline
         )
+        flow_stale = stale_baseline_entries(flow_report.findings, baseline)
         downgrade_lines = {
             (str(Path(p).resolve()), line)
             for p, line in flow_report.verified_lines()
@@ -603,18 +640,26 @@ def _cmd_sanitize(args: argparse.Namespace) -> int:
                   f"{finding.code} [{finding.severity}] {finding.message}")
         for finding, reason in flow_baselined:
             print(f"  {finding.code} baselined ({finding.key}): {reason}")
-        if not flow_active and not flow_baselined:
+        for key in flow_stale:
+            print(
+                f"  stale baseline entry (matches no current finding):"
+                f" {key}"
+            )
+        if not flow_active and not flow_baselined and not flow_stale:
             print("  clean")
         flow_errors = sum(
             1 for f in flow_active if f.severity == "error"
         )
         flow_warnings = len(flow_active) - flow_errors
-        flow_failures = flow_errors + (flow_warnings if args.strict else 0)
+        flow_failures = flow_errors + (
+            flow_warnings + len(flow_stale) if args.strict else 0
+        )
         families["flow"] = (
             flow_failures,
             f"{flow_errors} error(s), {flow_warnings} warning(s), "
             f"{len(flow_report.verified)} verified-disjoint, "
             f"{len(flow_baselined)} baselined, "
+            f"{len(flow_stale)} stale baseline entr(ies), "
             f"effects over {len(flow_report.effects)} kernel(s)"
             + (" [strict]" if args.strict else ""),
         )
@@ -624,6 +669,7 @@ def _cmd_sanitize(args: argparse.Namespace) -> int:
                 {"key": f.key, "reason": reason}
                 for f, reason in flow_baselined
             ],
+            "stale_baseline": list(flow_stale),
             "verified_disjoint": [str(v) for v in flow_report.verified],
             "effects": {
                 name: sig.as_dict()
@@ -631,6 +677,80 @@ def _cmd_sanitize(args: argparse.Namespace) -> int:
             },
             "workers": flow_report.workers,
             "files": flow_report.files,
+        }
+
+    if do_prove:
+        from repro.sanitizer.prove import (
+            DEFAULT_MANIFEST_PATH,
+            diff_manifest,
+            load_manifest,
+            manifest_payload,
+            prove_kernels as run_prove,
+            write_manifest,
+        )
+
+        print("== prove (SimProve SAN5xx static certification) ==")
+        # --write-manifest always re-proves the full registry so the
+        # committed manifest never shrinks to a subset
+        full_set = (
+            args.write_manifest
+            or not do_kernels
+            or set(do_kernels) == set(KERNELS)
+        )
+        prove_report = run_prove(None if full_set else do_kernels)
+        for name, cert in sorted(prove_report.certificates.items()):
+            bounds = cert.bounds
+            tag = "fully-proven" if cert.fully_proven else cert.status
+            print(
+                f"  {name:22s} {tag:15s} {cert.determinism:15s} "
+                f"{bounds['proven']:3d} proven "
+                f"{bounds['unproven']:3d} unproven "
+                f"{bounds['violations']} violation(s)"
+            )
+        prove_errors = [
+            f for f in prove_report.findings if f.severity == "error"
+        ]
+        for finding in prove_errors:
+            print(f"  {finding}")
+        n_503 = sum(
+            1 for f in prove_report.findings if f.code == "SAN503"
+        )
+        n_502 = sum(
+            1 for f in prove_report.findings if f.code == "SAN502"
+        )
+        drift: list[str] = []
+        if args.write_manifest:
+            write_manifest(prove_report)
+            print(f"  manifest refreshed: {DEFAULT_MANIFEST_PATH}")
+        elif full_set:
+            drift = diff_manifest(
+                manifest_payload(prove_report), load_manifest()
+            )
+            for line in drift:
+                print(f"  manifest drift: {line}")
+        else:
+            print(
+                "  (subset proven — manifest drift check skipped; "
+                "run without --kernel to check drift)"
+            )
+        # SAN502/SAN503 are acknowledged by the committed manifest —
+        # the manifest IS the prove baseline — so --strict does not
+        # promote them; only provable OOB and unacknowledged drift gate
+        prove_failures = len(prove_errors) + len(drift)
+        families["prove"] = (
+            prove_failures,
+            f"{len(prove_report.certified)} certified / "
+            f"{len(prove_report.certificates)} kernel(s), "
+            f"{len(prove_errors)} SAN501, {n_502} SAN502, "
+            f"{n_503} SAN503, {len(drift)} drift line(s)",
+        )
+        report_json["prove"] = {
+            "certificates": {
+                name: cert.as_dict()
+                for name, cert in sorted(prove_report.certificates.items())
+            },
+            "findings": [str(f) for f in prove_report.findings],
+            "drift": list(drift),
         }
 
     if do_selftest:
@@ -649,6 +769,13 @@ def _cmd_sanitize(args: argparse.Namespace) -> int:
             fok, fmessage = flow_selftest()
             print(f"  [flow] {fmessage}")
             if not fok:
+                selftest_failures += 1
+        if do_prove:
+            from repro.sanitizer.prove import prove_selftest
+
+            pok, pmessage = prove_selftest()
+            print(f"  [prove] {pmessage}")
+            if not pok:
                 selftest_failures += 1
         families["selftest"] = (
             selftest_failures,

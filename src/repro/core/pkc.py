@@ -48,6 +48,7 @@ def pkc_core_decomposition(graph: Graph, pool: SimulatedPool) -> np.ndarray:
                 return -1
 
             undecided = np.flatnonzero(~settled)
+            # items are positions into an n-sized mask  # prove: item in [0, n)
             hits = pool.parallel_for(
                 [int(v) for v in undecided], scan, label=f"pkc:scan_k{k}"
             )
@@ -75,6 +76,7 @@ def pkc_core_decomposition(graph: Graph, pool: SimulatedPool) -> np.ndarray:
                             ctx.charge(1)
                             next_parts[ctx.thread_id].append(u)
 
+                # frontier holds vertex ids  # prove: item in [0, n)
                 pool.parallel_for(frontier, process, label=f"pkc:peel_k{k}")
                 remaining -= len(frontier)
                 merged: list[int] = []

@@ -79,6 +79,9 @@ class ThreadContext:
         "_atomic_locations",
         "_events",
         "_memcheck",
+        "proven",
+        "barrier_units",
+        "elided",
     )
 
     def __init__(self, thread_id: int, cost_model: CostModel) -> None:
@@ -97,6 +100,34 @@ class ThreadContext:
         #: so uninitialized reads and out-of-bounds indices report the
         #: exact serial order the substrate executed.  Charge-free.
         self._memcheck: object | None = None
+        #: SimProve fast path.  ``None`` = no certificate; ``True`` =
+        #: every access of this region is statically proven in-bounds;
+        #: a ``frozenset`` = only accesses to these location names are
+        #: proven.  Proven accesses skip the memcheck barrier (and its
+        #: modeled ``barrier_units`` charge) — the certificate already
+        #: established what the barrier would check dynamically.
+        self.proven: object | None = None
+        #: Modeled sim-clock cost of one memcheck barrier crossing.
+        #: Zero by default so attaching a checker never perturbs the
+        #: cost model; ``bench_prove`` sets it to expose the savings
+        #: that certificate-driven elision buys.
+        self.barrier_units: float = 0.0
+        #: Number of barrier crossings elided via the certificate.
+        self.elided: int = 0
+
+    def _certified(self, location: object) -> bool:
+        """True when the active certificate covers ``location``."""
+        p = self.proven
+        if p is None:
+            return False
+        if p is True:
+            return True
+        name = (
+            location[0]
+            if type(location) is tuple and location
+            else location
+        )
+        return name in p
 
     def charge(self, units: float = 1) -> None:
         """Charge ``units`` of ordinary work.
@@ -145,9 +176,13 @@ class ThreadContext:
                 (EV_ATOMIC_WRITE, location if word is None else word)
             )
         if self._memcheck is not None:
-            self._memcheck.on_write_event(
-                location if word is None else word, None, self.thread_id
-            )
+            key = location if word is None else word
+            if self._certified(key):
+                self.elided += 1
+            else:
+                if self.barrier_units:
+                    self.work += self.barrier_units
+                self._memcheck.on_write_event(key, None, self.thread_id)
 
     # ------------------------------------------------------------------
     # recorded plain / atomic accesses (sanitizer-visible)
@@ -165,7 +200,12 @@ class ThreadContext:
         if self._events is not None:
             self._events.append((EV_READ, location))
         if self._memcheck is not None:
-            self._memcheck.on_read_event(location, self.thread_id)
+            if self._certified(location):
+                self.elided += 1
+            else:
+                if self.barrier_units:
+                    self.work += self.barrier_units
+                self._memcheck.on_read_event(location, self.thread_id)
 
     def write(
         self, location: object, units: float = 1.0, value: object = None
@@ -187,7 +227,14 @@ class ThreadContext:
         if self._events is not None:
             self._events.append((EV_WRITE, location))
         if self._memcheck is not None:
-            self._memcheck.on_write_event(location, value, self.thread_id)
+            if self._certified(location):
+                self.elided += 1
+            else:
+                if self.barrier_units:
+                    self.work += self.barrier_units
+                self._memcheck.on_write_event(
+                    location, value, self.thread_id
+                )
 
     def atomic_load(self, location: object, units: float = 1.0) -> None:
         """Charge an atomic (synchronized) load of ``location``.
@@ -200,7 +247,12 @@ class ThreadContext:
         if self._events is not None:
             self._events.append((EV_ATOMIC_READ, location))
         if self._memcheck is not None:
-            self._memcheck.on_read_event(location, self.thread_id)
+            if self._certified(location):
+                self.elided += 1
+            else:
+                if self.barrier_units:
+                    self.work += self.barrier_units
+                self._memcheck.on_read_event(location, self.thread_id)
 
     def record(self, kind: int, location: object) -> None:
         """Append a raw access event without charging.
@@ -212,9 +264,15 @@ class ThreadContext:
         if self._events is not None:
             self._events.append((kind, location))
         if self._memcheck is not None:
-            if kind in (EV_WRITE, EV_ATOMIC_WRITE):
+            if self._certified(location):
+                self.elided += 1
+            elif kind in (EV_WRITE, EV_ATOMIC_WRITE):
+                if self.barrier_units:
+                    self.work += self.barrier_units
                 self._memcheck.on_write_event(location, None, self.thread_id)
             else:
+                if self.barrier_units:
+                    self.work += self.barrier_units
                 self._memcheck.on_read_event(location, self.thread_id)
 
     def begin_recording(self) -> None:

@@ -21,11 +21,20 @@ Three complementary gates over the simulated-multicore kernels:
   the owning thread's slice (SAN403 / verified-disjoint SAN201
   downgrades), and per-kernel effect-signature drift against the
   declared :data:`~repro.sanitizer.kernels.KERNEL_EFFECTS`
-  (SAN404/405) gated by a committed baseline.
+  (SAN404/405) gated by a committed baseline;
+* :mod:`repro.sanitizer.prove` — SimProve, the SAN5xx abstract-
+  interpretation family: fixpoint interval analysis over the worker
+  CFGs proving every recorded access in-bounds against declared
+  extents (SAN501 provable OOB / SAN502 unproven), determinism
+  classification of combining atomics (SAN503 order-sensitive float
+  reductions), and per-kernel proof certificates committed to
+  ``prove_manifest.json`` — certified kernels may run with the
+  SimCheck barrier elided (:meth:`MemChecker.apply_certificate`).
 
 Entry points: ``repro sanitize`` (CLI; ``--memcheck`` adds SimCheck,
-``--flow`` adds SimFlow),
-``pytest --sanitize [--memcheck]`` (test suite under the observers),
+``--flow`` adds SimFlow, ``--prove`` adds SimProve),
+``pytest --sanitize [--memcheck] [--prove]`` (test suite under the
+observers, gated on the proof manifest),
 :func:`repro.sanitizer.kernels.run_all_kernels` (programmatic).  Also
 importable as :mod:`repro.analysis.sanitizer`.
 """
@@ -60,6 +69,20 @@ from repro.sanitizer.memcheck import (
     san_empty,
     trap_value,
 )
+from repro.sanitizer.prove import (
+    DEFAULT_MANIFEST_PATH,
+    KernelCertificate,
+    ProveFinding,
+    ProveReport,
+    diff_manifest,
+    load_manifest,
+    manifest_payload,
+    prove_kernels,
+    prove_selftest,
+    prove_source,
+    verify_manifest,
+    write_manifest,
+)
 from repro.sanitizer.selftest import SELFTEST_PREFIX, run_racy_kernel, selftest
 from repro.sanitizer.vectorclock import VectorClock
 
@@ -84,6 +107,18 @@ __all__ = [
     "flow_selftest",
     "infer_kernel_effects",
     "check_kernel_effects",
+    "ProveFinding",
+    "KernelCertificate",
+    "ProveReport",
+    "prove_kernels",
+    "prove_source",
+    "prove_selftest",
+    "manifest_payload",
+    "load_manifest",
+    "write_manifest",
+    "diff_manifest",
+    "verify_manifest",
+    "DEFAULT_MANIFEST_PATH",
     "SELFTEST_PREFIX",
     "run_racy_kernel",
     "selftest",

@@ -107,6 +107,7 @@ __all__ = [
     "check_kernel_effects",
     "load_baseline",
     "apply_baseline",
+    "stale_baseline_entries",
     "flow_selftest",
     "DEFAULT_BASELINE_PATH",
 ]
@@ -1484,6 +1485,20 @@ def apply_baseline(
         else:
             suppressed.append((f, reason))
     return active, suppressed
+
+
+def stale_baseline_entries(
+    findings: list[FlowFinding], baseline: dict[str, str]
+) -> list[str]:
+    """Baseline keys no longer matched by any current finding.
+
+    A stale entry means the acknowledged drift was fixed (or the code
+    moved) without pruning ``flow_baseline.json`` — left alone it would
+    silently re-suppress a *future* finding with the same key.  The CLI
+    reports these as warnings (failures under ``--strict``).
+    """
+    live = {f.key for f in findings}
+    return sorted(key for key in baseline if key not in live)
 
 
 # ======================================================================

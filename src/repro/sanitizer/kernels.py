@@ -30,6 +30,7 @@ __all__ = [
     "KernelReport",
     "KERNELS",
     "KERNEL_EFFECTS",
+    "KERNEL_EXTENTS",
     "run_kernel",
     "run_all_kernels",
 ]
@@ -49,6 +50,8 @@ class KernelReport:
     memcheck_findings: list = field(default_factory=list)
     #: NaN origins tracked by memcheck (informational, never failing)
     nan_origins: list = field(default_factory=list)
+    #: memcheck barrier events skipped via a SimProve certificate
+    elided: int = 0
 
     @property
     def clean(self) -> bool:
@@ -481,8 +484,57 @@ KERNEL_EFFECTS: dict[str, dict[str, tuple[str, ...]]] = {
 }
 
 
+#: Declared array extents for SimProve (SAN5xx) bounds proofs: kernel
+#: name -> {array or recorded-location name -> extent expression over
+#: size symbols}.  Expressions must stay affine (``"n"``, ``"n + 1"``,
+#: ``"2 * m"``); anything the prover cannot parse makes every access
+#: to that array fail closed to SAN502 unproven.  ``n`` is the vertex
+#: count and ``m`` the (undirected) edge count, so a CSR graph has
+#: ``indptr`` of extent ``n + 1`` and ``indices`` of extent ``2 * m``
+#: — declaring both unlocks the CSR value facts (elements of
+#: ``indices`` are vertex ids, elements of ``indptr`` are offsets
+#: into ``indices``), which is what proves the paper's nested
+#: ``indices[indptr[v]:indptr[v + 1]]`` traversals.  Arrays left
+#: undeclared generate no obligations and no claims; AtomicArray
+#: receivers need no entry (their constructors self-declare).  The
+#: dynamic kernels deliberately omit the CSR pair: ``DynamicCSR``
+#: rows carry slack capacity, so the static CSR facts do not hold.
+_CSR_EXTENTS: dict[str, str] = {
+    "indptr": "n + 1",
+    "indices": "2 * m",
+    "coreness": "n",
+    "settled": "n",
+    "pkc_core": "n",
+}
+
+KERNEL_EXTENTS: dict[str, dict[str, str]] = {
+    "pkc": dict(_CSR_EXTENTS),
+    "phcd": dict(_CSR_EXTENTS),
+    "phcd_pivot": dict(_CSR_EXTENTS),
+    "pbks": dict(_CSR_EXTENTS),
+    "accumulate": {"parents": "t", "vals": "t"},
+    "accumulate_euler": {
+        "out": "n",
+        "prefix": "n",
+        "start": "n",
+        "end": "n",
+        "source": "n",
+    },
+    "unionfind_pivot": {},
+    "unionfind_waitfree": {},
+    "vertex_rank": dict(_CSR_EXTENTS),
+    "serve_batch": dict(_CSR_EXTENTS),
+    "dynamic_batch": {"coreness": "n"},
+    "dynamic_publish": dict(_CSR_EXTENTS),
+}
+
+
 def run_kernel(
-    name: str, threads: int = 4, memcheck: bool = False
+    name: str,
+    threads: int = 4,
+    memcheck: bool = False,
+    barrier_units: float = 0.0,
+    certificate: object | None = None,
 ) -> KernelReport:
     """Run one named kernel under a fresh detector; returns its report.
 
@@ -490,6 +542,13 @@ def run_kernel(
     rides along on the same pool (composed with the detector via
     :class:`~repro.parallel.observers.ObserverFanout`), so the report
     also carries memory/numeric findings and NaN origins.
+
+    ``barrier_units`` models the sim-clock cost of one barrier
+    crossing (0.0 keeps the checker cost-transparent).  ``certificate``
+    is a SimProve :class:`~repro.sanitizer.prove.KernelCertificate`
+    whose proven accesses skip the barrier entirely; the report's
+    ``elided`` field counts the crossings saved.  Passing either
+    implies a checker even without ``memcheck=True``.
     """
     try:
         body = KERNELS[name]
@@ -499,7 +558,13 @@ def run_kernel(
         ) from None
     pool = SimulatedPool(threads=threads)
     detector = RaceDetector()
-    checker = MemChecker() if memcheck else None
+    checker = (
+        MemChecker(barrier_units=barrier_units)
+        if memcheck or barrier_units or certificate is not None
+        else None
+    )
+    if checker is not None and certificate is not None:
+        checker.apply_certificate(certificate)
     if checker is None:
         with detector.watch(pool):
             body(pool)
@@ -520,6 +585,7 @@ def run_kernel(
         clock=pool.clock,
         memcheck_findings=list(checker.findings) if checker else [],
         nan_origins=list(checker.nan_origins) if checker else [],
+        elided=checker.elided_events if checker else 0,
     )
 
 

@@ -45,7 +45,10 @@ SAN304   warning   float expression accumulated into a known int-dtype
 
 SAN1xx/2xx (SimTSan) analyse ``parallel_for`` worker closures; SAN3xx
 (SimCheck) is a module-wide pass, except SAN302 which also scopes to
-workers.
+workers.  Two further families live in sibling modules: SAN4xx
+(SimFlow, :mod:`repro.sanitizer.flow`) and SAN5xx (SimProve,
+:mod:`repro.sanitizer.prove` — SAN501 provable OOB, SAN502 unproven
+access, SAN503 order-sensitive reduction).
 
 Escapes
 -------

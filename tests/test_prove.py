@@ -1,0 +1,409 @@
+"""SimProve (SAN5xx): interval domain, bounds proofs, certificates.
+
+Covers the interval lattice and affine substitution engine, the
+fail-closed edge cases the prover must never certify (empty ranges,
+backward steps, unresolvable symbolic endpoints, ``indptr[-1]``
+extents), certificate semantics, manifest round-trip + drift
+detection, the seeded selftest, and the proof-carrying barrier
+elision fast path.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.sanitizer.intervals import (
+    Interval,
+    SymbolFacts,
+    aff_add,
+    aff_const,
+    aff_sub,
+    aff_sym,
+    lower_const,
+    prove_le,
+    prove_nonneg,
+    upper_const,
+)
+from repro.sanitizer.kernels import KERNEL_EXTENTS, KERNELS, run_kernel
+from repro.sanitizer.memcheck import MemChecker, MemcheckError
+from repro.sanitizer.prove import (
+    DEFAULT_MANIFEST_PATH,
+    diff_manifest,
+    load_manifest,
+    manifest_payload,
+    prove_kernels,
+    prove_selftest,
+    prove_source,
+    verify_manifest,
+)
+
+
+def _nonneg_facts(*names: str) -> SymbolFacts:
+    facts = SymbolFacts()
+    for name in names:
+        facts.declare(name, Interval(aff_const(0), None, False))
+    return facts
+
+
+# ----------------------------------------------------------------------
+# affine / interval domain
+# ----------------------------------------------------------------------
+
+
+class TestAffine:
+    def test_cancellation_needs_no_facts(self):
+        # n - 1 <= n holds for every n by pure affine cancellation
+        n = aff_sym("n")
+        assert prove_le(aff_sub(n, aff_const(1)), n, SymbolFacts())
+
+    def test_nonneg_via_declared_symbol(self):
+        facts = _nonneg_facts("n")
+        assert prove_nonneg(aff_sym("n"), facts)
+        assert not prove_nonneg(aff_sub(aff_const(0), aff_sym("n")), facts)
+
+    def test_substitution_bounds(self):
+        # with k in [2, 5]: lower(k + 1) = 3, upper(k + 1) = 6
+        facts = SymbolFacts()
+        facts.declare("k", Interval(aff_const(2), aff_const(5), True))
+        expr = aff_add(aff_sym("k"), aff_const(1))
+        assert lower_const(expr, facts) == 3
+        assert upper_const(expr, facts) == 6
+
+    def test_unresolved_symbol_is_unbounded(self):
+        facts = SymbolFacts()
+        assert lower_const(aff_sym("mystery"), facts) is None
+        assert upper_const(aff_sym("mystery"), facts) is None
+
+
+class TestInterval:
+    def test_join_equal_keeps_tightness(self):
+        a = Interval(aff_const(0), aff_const(3), True)
+        assert a.join(a, SymbolFacts()).tight
+
+    def test_join_divergent_drops_tightness(self):
+        a = Interval(aff_const(0), aff_const(3), True)
+        b = Interval(aff_const(1), aff_const(9), True)
+        j = a.join(b, SymbolFacts())
+        assert not j.tight  # merged paths can no longer convict
+
+    def test_widen_clears_changed_bounds(self):
+        a = Interval(aff_const(0), aff_const(3), True)
+        b = Interval(aff_const(0), aff_const(7), True)
+        w = a.widen(b)
+        assert w.lo == aff_const(0) and w.hi is None and not w.tight
+
+    def test_arithmetic(self):
+        a = Interval(aff_const(1), aff_const(4), True)
+        assert a.shift(2).lo == aff_const(3)
+        assert a.neg().hi == aff_const(-1)
+        assert a.scale_const(-1).lo == aff_const(-4)
+
+
+# ----------------------------------------------------------------------
+# fail-closed edge cases: never certify what cannot be proven
+# ----------------------------------------------------------------------
+
+_EDGE_EXTENTS = {"out": "n"}
+
+
+def _single_worker(body: str) -> str:
+    return (
+        "def run(pool, out, n):\n"
+        f"{body}"
+        "    pool.parallel_for(items, worker, label='edge')\n"
+    )
+
+
+class TestFailClosed:
+    def _outcomes(self, src: str, extents=None):
+        report = prove_source(src, extents=extents or _EDGE_EXTENTS)
+        cert = report.certificates["<source>"]
+        return cert, [f.code for f in report.findings]
+
+    def test_empty_range_never_convicts(self):
+        # range(5, 3) is empty: the store never executes, so flagging
+        # it as a provable OOB would be wrong — must stay SAN502
+        src = _single_worker(
+            "    def worker(i, ctx):\n"
+            "        for j in range(5, 3):\n"
+            "            out[j + n] = 0.0\n"
+        )
+        cert, codes = self._outcomes(src)
+        assert "SAN501" not in codes
+        assert not cert.fully_proven
+
+    def test_backward_range_step_is_top(self):
+        # non-unit (negative) step: the iteration interval is unknown
+        src = _single_worker(
+            "    def worker(i, ctx):\n"
+            "        for j in range(n, 0, -1):\n"
+            "            out[j] = 0.0\n"
+        )
+        cert, codes = self._outcomes(src)
+        assert "SAN501" not in codes
+        assert "SAN502" in codes  # unproven, fail closed
+
+    def test_unresolvable_symbolic_endpoint(self):
+        # `limit` never resolves to anything the extents declare
+        src = _single_worker(
+            "    def worker(i, ctx):\n"
+            "        for j in range(limit):\n"
+            "            out[j] = 0.0\n"
+        )
+        cert, codes = self._outcomes(src)
+        assert "SAN501" not in codes
+        assert "SAN502" in codes
+        assert cert.status == "certified"  # warnings don't block
+        assert not cert.fully_proven
+
+    def test_indptr_negative_extent_lookup_unresolved(self):
+        # an extent expression the affine parser cannot read
+        # (indptr[-1]) must yield "extent unresolved", not a proof
+        src = _single_worker(
+            "    def worker(i, ctx):\n"
+            "        ctx.write(('out', int(i)))\n"
+            "        out[i] = 0.0\n"
+        )
+        report = prove_source(src, extents={"out": "indptr[-1]"})
+        cert = report.certificates["<source>"]
+        assert not cert.fully_proven
+        assert any(
+            ob.outcome == "unproven" and "unresolved" in ob.reason
+            for ob in cert.obligations
+        )
+
+    def test_unknown_item_domain_is_top(self):
+        # no assumption comment, items expression opaque: item is top
+        src = _single_worker(
+            "    def worker(i, ctx):\n"
+            "        out[i] = 0.0\n"
+        )
+        cert, codes = self._outcomes(src)
+        assert "SAN501" not in codes
+        assert "SAN502" in codes
+
+
+# ----------------------------------------------------------------------
+# proofs that must succeed
+# ----------------------------------------------------------------------
+
+
+class TestProofs:
+    def test_range_loop_store_proves(self):
+        src = _single_worker(
+            "    def worker(i, ctx):\n"
+            "        for j in range(n):\n"
+            "            ctx.write(('out', int(j)))\n"
+        )
+        report = prove_source(src, extents=_EDGE_EXTENTS)
+        cert = report.certificates["<source>"]
+        assert cert.fully_proven
+        assert "out" in cert.proven_arrays
+
+    def test_csr_slice_idiom_proves(self):
+        src = (
+            "def run(pool, indptr, indices, settled, n):\n"
+            "    def worker(v, ctx):  # prove: item in [0, n)\n"
+            "        for u in indices[indptr[v] : indptr[v + 1]]:\n"
+            "            ctx.read(('settled', int(u)))\n"
+            "    pool.parallel_for(front, worker, label='csr')\n"
+        )
+        report = prove_source(
+            src,
+            extents={"indptr": "n + 1", "indices": "2 * m", "settled": "n"},
+        )
+        cert = report.certificates["<source>"]
+        assert cert.fully_proven, [
+            (o.outcome, o.index_repr, o.reason) for o in cert.obligations
+        ]
+
+    def test_assumption_is_recorded_not_convicting(self):
+        src = (
+            "def run(pool, out, n):\n"
+            "    def worker(i, ctx):  # prove: item in [0, n)\n"
+            "        ctx.write(('out', int(i)))\n"
+            "    pool.parallel_for(items, worker, label='a')\n"
+        )
+        report = prove_source(src, extents=_EDGE_EXTENTS)
+        cert = report.certificates["<source>"]
+        assert cert.fully_proven
+        assert any("item in [0, n)" in a for a in cert.assumptions)
+
+
+# ----------------------------------------------------------------------
+# in-tree certification + manifest
+# ----------------------------------------------------------------------
+
+
+class TestKernels:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return prove_kernels()
+
+    def test_registry_coverage(self, report):
+        assert set(report.certificates) == set(KERNELS)
+        assert set(KERNEL_EXTENTS) == set(KERNELS)
+
+    def test_at_least_ten_certified(self, report):
+        assert len(report.certified) >= 10
+
+    def test_no_provable_oob_in_tree(self, report):
+        assert not [f for f in report.findings if f.code == "SAN501"]
+
+    def test_pkc_fully_proven(self, report):
+        cert = report.certificates["pkc"]
+        assert cert.fully_proven
+        assert cert.determinism == "commutative"
+        assert "pkc_deg" in cert.proven_arrays
+
+    def test_float_reduction_flagged_order_sensitive(self, report):
+        # tree_accumulate's float64 sink.add: bit-identity across
+        # thread counts is *not* statically justified for these two
+        for name in ("accumulate", "pbks"):
+            assert report.certificates[name].status == "order-sensitive"
+        codes = [f.code for f in report.findings]
+        assert codes.count("SAN503") == 2
+
+    def test_manifest_in_sync(self, report):
+        assert DEFAULT_MANIFEST_PATH.exists()
+        assert diff_manifest(manifest_payload(report), load_manifest()) == []
+
+    def test_verify_manifest_gate(self):
+        ok, message = verify_manifest()
+        assert ok, message
+        assert "manifest in sync" in message
+
+    def test_drift_detected_against_tampered_manifest(self, report, tmp_path):
+        payload = json.loads(DEFAULT_MANIFEST_PATH.read_text())
+        payload["kernels"]["pkc"]["determinism"] = "order-sensitive"
+        del payload["kernels"]["vertex_rank"]
+        tampered = tmp_path / "manifest.json"
+        tampered.write_text(json.dumps(payload))
+        drift = diff_manifest(
+            manifest_payload(report), load_manifest(tampered)
+        )
+        assert any("pkc" in line for line in drift)
+        assert any("vertex_rank" in line for line in drift)
+
+    def test_missing_manifest_is_drift(self, report):
+        drift = diff_manifest(manifest_payload(report), None)
+        assert drift and "missing" in drift[0]
+
+
+def test_selftest_catches_planted_bugs():
+    ok, message = prove_selftest()
+    assert ok, message
+    assert "SAN501" in message and "SAN503" in message
+
+
+# ----------------------------------------------------------------------
+# proof-carrying execution: barrier elision
+# ----------------------------------------------------------------------
+
+
+class TestElision:
+    @pytest.fixture(scope="class")
+    def pkc_cert(self):
+        return prove_kernels(["pkc"]).certificates["pkc"]
+
+    def test_defaults_are_cost_transparent(self):
+        # without barrier_units/certificate the checker must not
+        # perturb the sim clock (the bench_sanitize invariant)
+        plain = run_kernel("pkc")
+        checked = run_kernel("pkc", memcheck=True)
+        assert plain.clock == checked.clock
+        assert checked.elided == 0
+
+    def test_certificate_elides_and_saves(self, pkc_cert):
+        base = run_kernel("pkc", memcheck=True, barrier_units=1.0)
+        fast = run_kernel(
+            "pkc", memcheck=True, barrier_units=1.0, certificate=pkc_cert
+        )
+        assert fast.elided > 0
+        assert fast.clock < base.clock
+        assert [str(r) for r in base.races] == [str(r) for r in fast.races]
+        assert base.memcheck_findings == fast.memcheck_findings
+
+    def test_fully_proven_elides_every_barrier(self, pkc_cert):
+        # pkc is fully proven: with the certificate the barrier charge
+        # vanishes entirely, restoring the unbarriered clock
+        plain = run_kernel("pkc", memcheck=True)
+        fast = run_kernel(
+            "pkc", memcheck=True, barrier_units=1.0, certificate=pkc_cert
+        )
+        assert fast.clock == plain.clock
+
+    def test_uncertified_certificate_refused(self):
+        cert = prove_kernels(["accumulate"]).certificates["accumulate"]
+        assert cert.status == "order-sensitive"
+        checker = MemChecker()
+        with pytest.raises(MemcheckError):
+            checker.apply_certificate(cert)
+
+    def test_partial_certificate_scopes_to_proven_arrays(self):
+        checker = MemChecker(barrier_units=1.0)
+        cert = prove_kernels(["pkc"]).certificates["pkc"]
+        checker.apply_certificate(cert)
+        assert checker._proven is True  # fully proven -> blanket elision
+
+
+# ----------------------------------------------------------------------
+# CLI integration
+# ----------------------------------------------------------------------
+
+
+class TestCli:
+    def test_prove_flag_exit_zero(self, capsys):
+        from repro.cli import main
+
+        assert main(["sanitize", "--prove"]) == 0
+        out = capsys.readouterr().out
+        assert "SimProve" in out
+        assert "fully-proven" in out
+        assert "0 drift line(s)" in out
+
+    def test_report_schema_key(self, tmp_path, capsys):
+        from repro.cli import main
+
+        report_file = tmp_path / "report.json"
+        assert (
+            main(["sanitize", "--prove", "--report", str(report_file)])
+            == 0
+        )
+        data = json.loads(report_file.read_text())
+        assert data["schema"] == "sanitize-report/v1"
+        assert "prove" in data
+        assert data["prove"]["drift"] == []
+        certs = data["prove"]["certificates"]
+        assert certs["pkc"]["fully_proven"] is True
+
+    def test_subset_prove_skips_drift(self, capsys):
+        from repro.cli import main
+
+        assert main(["sanitize", "--kernel", "pkc", "--prove"]) == 0
+        out = capsys.readouterr().out
+        assert "drift check skipped" in out
+
+
+def test_stale_baseline_entries_helper():
+    from repro.sanitizer.flow import stale_baseline_entries
+
+    class _F:
+        def __init__(self, key):
+            self.key = key
+
+    findings = [_F("SAN401:a"), _F("SAN403:b")]
+    baseline = {"SAN401:a": "known", "SAN999:gone": "stale"}
+    assert stale_baseline_entries(findings, baseline) == ["SAN999:gone"]
+    assert stale_baseline_entries(findings, {}) == []
+
+
+def test_committed_flow_baseline_not_stale():
+    # every entry in the committed flow_baseline.json must still match
+    # a live finding — otherwise the baseline rotted
+    from repro.cli import main
+
+    assert main(["sanitize", "--flow", "--strict"]) == 0
