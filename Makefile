@@ -1,10 +1,10 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check test sanitize memcheck lint flow prove profile bench-sanitize bench-profile bench-flow bench-prove serve-bench bench-dynamic
+.PHONY: check test sanitize memcheck lint flow prove profile bench-sanitize bench-profile bench-flow bench-prove serve-bench bench-dynamic bench-cluster
 
-## check: the CI gate — tests, strict lint, flow analysis, prove certification, kernel race+memcheck sweep, profiler selftest, dynamic + prove benches
-check: test lint flow prove sanitize memcheck profile bench-dynamic bench-prove
+## check: the CI gate — tests, strict lint, flow analysis, prove certification, kernel race+memcheck sweep, profiler selftest, dynamic + prove + cluster benches
+check: test lint flow prove sanitize memcheck profile bench-dynamic bench-prove bench-cluster
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -61,3 +61,7 @@ serve-bench:
 ## bench-dynamic: refresh benchmarks/results/BENCH_dynamic.json (batched maintenance + delta publishing)
 bench-dynamic:
 	$(PYTHON) benchmarks/bench_dynamic.py
+
+## bench-cluster: refresh benchmarks/results/BENCH_cluster.json (distributed decomposition + fault-tolerant sharded serving)
+bench-cluster:
+	$(PYTHON) benchmarks/bench_cluster.py

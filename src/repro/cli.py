@@ -11,6 +11,7 @@ Subcommands
 ``sanitize``   SimTSan races + SimCheck memcheck + SAN lint over kernels
 ``profile``    SimProf: span-trace a run, flame summary + trace exports
 ``serve``      HCDServe: replay a query trace against a snapshot catalog
+``cluster``    SimCluster: sharded decomposition / fault-tolerant serving
 
 Graphs come either from an edge-list file (``--input``) or a built-in
 stand-in (``--dataset AS|LJ|...``).
@@ -352,6 +353,121 @@ def build_parser() -> argparse.ArgumentParser:
         help="trace the replay with SimProf and print the serve.* phases",
     )
     p_serve.add_argument(
+        "--json",
+        metavar="FILE",
+        help="write the full report as JSON to FILE",
+    )
+
+    p_cluster = sub.add_parser(
+        "cluster",
+        help="sharded multi-node decomposition / serving (SimCluster)",
+        description=(
+            "Run on the deterministic simulated cluster: shard a graph "
+            "across nodes (contiguous ranges or label propagation), run "
+            "the distributed shard-grained MPM decomposition — bit-"
+            "identical to single-node decomposition at every shard "
+            "count — and report the compute/comms clock split.  With "
+            "--serve N, instead route a synthetic query trace through "
+            "the sharded ClusterService (per-shard replicas, hedging, "
+            "deterministic crash/slow fault injection, catalog "
+            "recovery).  With --mpm, also run the single-node MPM "
+            "baseline and report its rounds next to the cluster's "
+            "supersteps."
+        ),
+    )
+    cluster_source = p_cluster.add_mutually_exclusive_group(required=True)
+    cluster_source.add_argument(
+        "--input", help="edge-list file (u v per line)"
+    )
+    cluster_source.add_argument(
+        "--dataset", help="built-in stand-in name or abbreviation (e.g. AS)"
+    )
+    p_cluster.add_argument(
+        "--shards",
+        type=int,
+        default=2,
+        help="number of shards / nodes (default 2)",
+    )
+    p_cluster.add_argument(
+        "--threads",
+        type=int,
+        default=4,
+        help="simulated threads per node (default 4)",
+    )
+    p_cluster.add_argument(
+        "--partition",
+        choices=("range", "lp"),
+        default="range",
+        help="sharding strategy: contiguous ranges or label propagation",
+    )
+    p_cluster.add_argument(
+        "--mpm",
+        action="store_true",
+        help="also run the single-node MPM baseline (rounds vs supersteps)",
+    )
+    p_cluster.add_argument(
+        "--serve",
+        type=int,
+        default=0,
+        metavar="N",
+        help="route N synthetic requests through the sharded service",
+    )
+    p_cluster.add_argument(
+        "--replicas",
+        type=int,
+        default=2,
+        help="replicas per shard for --serve (default 2)",
+    )
+    p_cluster.add_argument(
+        "--catalog",
+        default=".hcdserve",
+        metavar="DIR",
+        help="snapshot catalog directory for --serve (default .hcdserve)",
+    )
+    p_cluster.add_argument(
+        "--snapshot",
+        default="default",
+        metavar="NAME",
+        help="snapshot name for --serve (default 'default')",
+    )
+    p_cluster.add_argument(
+        "--build",
+        action="store_true",
+        help="build + publish the snapshot from the graph source first",
+    )
+    p_cluster.add_argument(
+        "--crash",
+        action="append",
+        default=[],
+        metavar="NODE:T[:RECOVER]",
+        help=(
+            "crash NODE at work-unit time T (repeatable); with "
+            ":RECOVER it re-registers from the catalog at that time"
+        ),
+    )
+    p_cluster.add_argument(
+        "--slow",
+        action="append",
+        default=[],
+        metavar="NODE:FACTOR",
+        help="slow NODE down by FACTOR >= 1 (repeatable)",
+    )
+    p_cluster.add_argument(
+        "--hedge-timeout",
+        type=float,
+        default=0.0,
+        metavar="T",
+        help="hedge requests slower than T work units (0 disables)",
+    )
+    p_cluster.add_argument(
+        "--seed", type=int, default=0, help="synthetic-trace seed"
+    )
+    p_cluster.add_argument(
+        "--profile-out",
+        metavar="DIR",
+        help="write cluster_profile.json + cluster_trace.json under DIR",
+    )
+    p_cluster.add_argument(
         "--json",
         metavar="FILE",
         help="write the full report as JSON to FILE",
@@ -993,6 +1109,196 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_fault(spec: str, what: str, parts: int) -> list[float]:
+    fields = spec.split(":")
+    if not 2 <= len(fields) <= parts:
+        raise ValueError(f"bad --{what} spec {spec!r}")
+    try:
+        return [float(f) for f in fields]
+    except ValueError:
+        raise ValueError(f"bad --{what} spec {spec!r}") from None
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.cluster import (
+        ClusterProfiler,
+        SimCluster,
+        distributed_core_decomposition,
+        shard_graph,
+    )
+    from repro.errors import ServeError, WorkloadError
+
+    if args.shards < 1 or args.threads < 1 or args.replicas < 1:
+        print(
+            "--shards, --threads and --replicas must be >= 1",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        crashes = [_parse_fault(s, "crash", 3) for s in args.crash]
+        slows = [_parse_fault(s, "slow", 2) for s in args.slow]
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    graph = _load_graph(args)
+    source = args.input or args.dataset
+    payload: dict = {
+        "source": source,
+        "shards": args.shards,
+        "threads": args.threads,
+        "partition": args.partition,
+    }
+
+    if args.serve:
+        from repro.cluster import ClusterService, ClusterServiceConfig
+        from repro.serve import (
+            SnapshotCatalog,
+            build_snapshot,
+            synthetic_trace,
+        )
+
+        catalog = SnapshotCatalog(args.catalog)
+        if args.build:
+            snapshot = build_snapshot(
+                graph,
+                threads=args.threads,
+                name=args.snapshot,
+                source=source,
+            )
+            version = catalog.publish(snapshot)
+            print(f"published {args.snapshot!r} v{version}")
+        config = ClusterServiceConfig(
+            num_shards=args.shards,
+            replicas=args.replicas,
+            hedge_timeout=(
+                args.hedge_timeout if args.hedge_timeout > 0 else float("inf")
+            ),
+        )
+        try:
+            service = ClusterService(
+                catalog, args.snapshot, config=config, threads=args.threads
+            )
+        except (ServeError, WorkloadError) as exc:
+            print(f"cluster serve failed: {exc}", file=sys.stderr)
+            return 1
+        for fields in crashes:
+            service.crash(
+                int(fields[0]),
+                fields[1],
+                fields[2] if len(fields) > 2 else None,
+            )
+        for node_id, factor in slows:
+            service.slow(int(node_id), factor)
+        trace = synthetic_trace(args.serve, seed=args.seed)
+        profiler = ClusterProfiler(service.cluster)
+        try:
+            with profiler:
+                report = service.serve(trace)
+        except (ServeError, WorkloadError) as exc:
+            print(f"cluster serve failed: {exc}", file=sys.stderr)
+            return 1
+        name, version = report.snapshot
+        print(f"snapshot   : {name} v{version}")
+        print(
+            f"topology   : {args.shards} shard(s) x "
+            f"{args.replicas} replica(s), {args.threads} threads/node"
+        )
+        print(
+            f"requests   : {len(report.records)} "
+            f"(admitted {report.admitted}, shed {report.shed}, "
+            f"failed {report.failed})"
+        )
+        print(
+            f"answers    : {report.computed} computed, {report.hits} cached, "
+            f"{report.shared} shared, {report.batches} batch(es)"
+        )
+        print(
+            f"faults     : {report.failovers} failover(s), "
+            f"{report.hedges} hedge(s), {report.recoveries} recover(ies)"
+        )
+        print(
+            f"latency    : p50={report.p50:.0f} p95={report.p95:.0f} "
+            f"p99={report.p99:.0f} work units"
+        )
+        network = report.network
+        print(
+            f"network    : {network['messages']} message(s), "
+            f"{network['bytes']} byte(s), cost {network['cost']:.0f}"
+        )
+        print(f"digest     : {report.answers_digest()[:16]}...")
+        payload["serve"] = report.as_dict()
+    else:
+        cluster = SimCluster(args.shards, threads=args.threads)
+        for node_id, factor in slows:
+            cluster.slow(int(node_id), factor)
+        sharded = shard_graph(graph, args.shards, strategy=args.partition)
+        profiler = ClusterProfiler(cluster)
+        with profiler:
+            report = distributed_core_decomposition(graph, cluster, sharded)
+        from repro.core.decomposition import core_decomposition
+
+        reference = core_decomposition(graph)
+        identical = bool((report.coreness == reference).all())
+        print(
+            f"graph      : {source} (n={graph.num_vertices}, "
+            f"m={graph.num_edges})"
+        )
+        print(
+            f"sharding   : {args.shards} x {args.partition}, "
+            f"edge cut {sharded.edge_cut} "
+            f"({100 * sharded.cut_fraction:.1f}%)"
+        )
+        print(
+            f"supersteps : {report.supersteps} "
+            f"({report.local_rounds} local rounds)"
+        )
+        print(
+            f"clock      : compute={report.compute_clock:.0f} "
+            f"comms={report.comms_clock:.0f} "
+            f"(ratio {report.as_dict()['comms_compute_ratio']:.3f})"
+        )
+        print(
+            f"network    : {report.messages} message(s), "
+            f"{report.bytes_sent} byte(s)"
+        )
+        print(f"bit-identical to single-node decomposition: {identical}")
+        payload["decompose"] = report.as_dict()
+        payload["bit_identical"] = identical
+        if args.mpm:
+            mpm_pool = SimulatedPool(threads=args.threads)
+            from repro.core.distributed import mpm_core_decomposition
+
+            mpm_coreness, mpm_rounds = mpm_core_decomposition(
+                graph, mpm_pool
+            )
+            mpm_identical = bool((mpm_coreness == reference).all())
+            print(
+                f"mpm        : {mpm_rounds} rounds single-node "
+                f"(vs {report.supersteps} cluster supersteps), "
+                f"identical={mpm_identical}"
+            )
+            payload["mpm"] = {
+                "rounds": mpm_rounds,
+                "bit_identical": mpm_identical,
+                "sim_clock": mpm_pool.clock,
+            }
+        if not identical:
+            return 1
+
+    if args.profile_out:
+        paths = profiler.write_artifacts(args.profile_out)
+        for kind, path in paths.items():
+            print(f"wrote {kind:8s} {path}")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"report written to {args.json}")
+    return 0
+
+
 def _cmd_datasets(_: argparse.Namespace) -> int:
     print(f"{'name':16}{'abbrev':8}description")
     for name in dataset_names():
@@ -1011,6 +1317,7 @@ _COMMANDS = {
     "sanitize": _cmd_sanitize,
     "profile": _cmd_profile,
     "serve": _cmd_serve,
+    "cluster": _cmd_cluster,
 }
 
 

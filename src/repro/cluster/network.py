@@ -1,0 +1,146 @@
+"""The simulated interconnect: a deterministic network cost model.
+
+Every message between two nodes is charged
+
+    ``latency * hops(src, dst) + nbytes * byte_cost``
+
+in the same simulated work units the pools charge, so communication
+and computation compose on one cluster clock (see
+:class:`~repro.cluster.cluster.SimCluster`).  ``hops`` depends on the
+configured topology:
+
+* ``"switch"`` — every pair of distinct nodes is one hop apart (a
+  non-blocking crossbar; the common datacenter abstraction);
+* ``"ring"`` — nodes sit on a cycle and a message pays the shorter
+  ring distance, which makes partition locality measurable.
+
+Sends where ``src == dst`` are local handoffs: free and not counted.
+The network keeps per-link message/byte counters so benchmarks can
+report the comms/compute ratio and per-shard traffic; like the pools,
+it is purely deterministic — same sends, same totals, bit for bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["NetworkConfig", "Network"]
+
+_TOPOLOGIES = ("switch", "ring")
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Tunable charges of the interconnect.
+
+    The defaults make one message cost roughly one short parallel
+    region (latency 500 work units) with bandwidth at 8 bytes per
+    work unit — deliberately expensive enough that a partitioning
+    with a large edge cut shows up in the cluster clock.
+    """
+
+    latency: float = 500.0
+    byte_cost: float = 0.125
+    topology: str = "switch"
+
+    def __post_init__(self) -> None:
+        if self.latency < 0:
+            raise ValueError("latency must be >= 0")
+        if self.byte_cost < 0:
+            raise ValueError("byte_cost must be >= 0")
+        if self.topology not in _TOPOLOGIES:
+            raise ValueError(
+                f"unknown topology {self.topology!r}; "
+                f"expected one of {_TOPOLOGIES}"
+            )
+
+
+class Network:
+    """Message charges and counters between ``num_nodes`` endpoints."""
+
+    def __init__(
+        self, num_nodes: int, config: NetworkConfig | None = None
+    ) -> None:
+        if num_nodes < 1:
+            raise ValueError("num_nodes must be >= 1")
+        self.num_nodes = int(num_nodes)
+        self.config = config or NetworkConfig()
+        self.messages = 0
+        self.bytes_sent = 0
+        self.total_cost = 0.0
+        #: (src, dst) -> [messages, bytes]
+        self.links: dict[tuple[int, int], list[int]] = {}
+
+    def _check_endpoint(self, node: int) -> int:
+        node = int(node)
+        if not 0 <= node < self.num_nodes:
+            raise ValueError(
+                f"endpoint {node} out of range [0, {self.num_nodes})"
+            )
+        return node
+
+    def hops(self, src: int, dst: int) -> int:
+        """Link distance between two endpoints under the topology."""
+        src = self._check_endpoint(src)
+        dst = self._check_endpoint(dst)
+        if src == dst:
+            return 0
+        if self.config.topology == "switch":
+            return 1
+        around = abs(src - dst)
+        return min(around, self.num_nodes - around)
+
+    def cost(self, src: int, dst: int, nbytes: int) -> float:
+        """Charge for one message, without sending it."""
+        hops = self.hops(src, dst)
+        if hops == 0:
+            return 0.0
+        return self.config.latency * hops + nbytes * self.config.byte_cost
+
+    def send(self, src: int, dst: int, nbytes: int) -> float:
+        """Charge and count one ``src -> dst`` message of ``nbytes``.
+
+        Returns the charged cost.  Local sends (``src == dst``) are
+        free and uncounted — shared-memory handoff, not a message.
+        """
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        charged = self.cost(src, dst, nbytes)
+        if src == dst:
+            return 0.0
+        self.messages += 1
+        self.bytes_sent += int(nbytes)
+        self.total_cost += charged
+        link = self.links.setdefault((int(src), int(dst)), [0, 0])
+        link[0] += 1
+        link[1] += int(nbytes)
+        return charged
+
+    def reset(self) -> None:
+        """Zero every counter (the configuration is kept)."""
+        self.messages = 0
+        self.bytes_sent = 0
+        self.total_cost = 0.0
+        self.links.clear()
+
+    def stats(self) -> dict:
+        """JSON-ready counter snapshot."""
+        return {
+            "topology": self.config.topology,
+            "latency": self.config.latency,
+            "byte_cost": self.config.byte_cost,
+            "messages": self.messages,
+            "bytes": self.bytes_sent,
+            "cost": self.total_cost,
+            "links": {
+                f"{src}->{dst}": {"messages": link[0], "bytes": link[1]}
+                for (src, dst), link in sorted(self.links.items())
+            },
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Network(nodes={self.num_nodes}, "
+            f"topology={self.config.topology!r}, "
+            f"messages={self.messages}, bytes={self.bytes_sent})"
+        )

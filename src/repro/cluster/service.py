@@ -1,0 +1,549 @@
+"""ClusterService: a sharded, replicated, fault-tolerant serving router.
+
+The router partitions the *query space*: each request fingerprint is
+hashed to a shard, and each shard is served by ``replicas`` nodes that
+all hold the same published snapshot (replication for availability,
+sharding for cache affinity — a shard's replicas only ever see their
+slice of the fingerprint space, so their result caches and memoized
+shared passes stay hot on it).  The replay loop mirrors
+:class:`~repro.serve.service.HCDService` — admit, plan, then dispatch
+each shard's sub-batch to its primary replica — and advances the same
+deterministic work-unit clock, with three distribution-only stages:
+
+* **routing**: request and response messages are charged through the
+  :class:`~repro.cluster.network.Network` cost model and count toward
+  request latency;
+* **hedging**: when a dispatch costs more than ``hedge_timeout`` work
+  units and another replica is alive, the router (deterministically)
+  issues a backup request after ``hedge_backoff`` and completes at
+  whichever copy finishes first — the classic tail-at-scale mitigation,
+  and the benchmark's tail-latency win under one slow node;
+* **failover**: a node whose armed ``crash_at`` fires before or during
+  a dispatch is marked dead, the in-flight work is lost, and the next
+  replica answers after ``failover_penalty``; a dead node with
+  ``recover_at`` set later *re-registers from the snapshot catalog*
+  (a fresh :class:`HCDService` over the latest published version) and
+  rejoins its replica set.
+
+Because every replica serves the same snapshot and
+:meth:`HCDService.answer` depends only on (snapshot, queries), the
+router's answers are **byte-identical** to a single ``HCDService`` —
+under any shard count, replica count, hedging policy, or crash
+schedule that leaves each shard one live replica.  Fault times are
+expressed on the router's work-unit clock, so a fault scenario replays
+bit-identically at any per-node thread count.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.cluster.cluster import SimCluster, SuperstepRecord
+from repro.cluster.network import NetworkConfig
+from repro.cluster.node import SimNode
+from repro.errors import WorkloadError
+from repro.parallel.scheduler import SimulatedPool
+from repro.serve.catalog import SnapshotCatalog
+from repro.serve.planner import QueryPlanner, normalize_request
+from repro.serve.service import (
+    RequestRecord,
+    ServiceConfig,
+    ServiceReport,
+    HCDService,
+)
+
+__all__ = ["ClusterServiceConfig", "ClusterReport", "ClusterService"]
+
+
+@dataclass(frozen=True)
+class ClusterServiceConfig:
+    """Topology and distribution knobs of the serving router.
+
+    ``hedge_timeout`` is in work units; ``float("inf")`` (the default)
+    disables hedging.  ``request_bytes``/``response_bytes`` size the
+    routing messages per query/answer for the network charges.
+    """
+
+    num_shards: int = 2
+    replicas: int = 2
+    hedge_timeout: float = float("inf")
+    hedge_backoff: float = 200.0
+    failover_penalty: float = 500.0
+    request_bytes: int = 48
+    response_bytes: int = 96
+
+    def __post_init__(self) -> None:
+        if self.num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        if self.replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        if self.hedge_timeout <= 0:
+            raise ValueError("hedge_timeout must be > 0")
+
+
+@dataclass
+class ClusterReport(ServiceReport):
+    """A :class:`ServiceReport` plus the distribution-side counters."""
+
+    num_shards: int = 0
+    replicas: int = 0
+    failed: int = 0
+    failovers: int = 0
+    hedges: int = 0
+    recoveries: int = 0
+    cluster_clock: float = 0.0
+    network: dict = field(default_factory=dict)
+    per_shard: list = field(default_factory=list)
+
+    def as_dict(self) -> dict:
+        payload = super().as_dict()
+        payload.update(
+            {
+                "num_shards": self.num_shards,
+                "replicas": self.replicas,
+                "failed": self.failed,
+                "failovers": self.failovers,
+                "hedges": self.hedges,
+                "recoveries": self.recoveries,
+                "cluster_clock": self.cluster_clock,
+                "network": dict(self.network),
+                "per_shard": list(self.per_shard),
+            }
+        )
+        return payload
+
+
+def shard_of(fingerprint: str, num_shards: int) -> int:
+    """Deterministic fingerprint -> shard map (stable across runs)."""
+    digest = hashlib.sha256(fingerprint.encode("utf-8")).hexdigest()
+    return int(digest[:8], 16) % num_shards
+
+
+class ClusterService:
+    """Route one request trace over sharded, replicated HCD services."""
+
+    def __init__(
+        self,
+        catalog: SnapshotCatalog,
+        name: str,
+        config: ClusterServiceConfig | None = None,
+        service_config: ServiceConfig | None = None,
+        threads: int = 4,
+        network: NetworkConfig | None = None,
+        pool: SimulatedPool | None = None,
+    ) -> None:
+        self.catalog = catalog
+        self.name = name
+        self.config = config or ClusterServiceConfig()
+        self.service_config = service_config or ServiceConfig()
+        self.planner = QueryPlanner()
+        total = self.config.num_shards * self.config.replicas
+        # node ids 0..total-1 are replicas (shard-major); the extra
+        # node is the router itself
+        self.cluster = SimCluster(
+            total + 1, threads=threads, network=network, pool=pool
+        )
+        self.router = self.cluster.nodes[total]
+        for node in self.cluster.nodes[:total]:
+            node.service = HCDService(
+                catalog, name, config=self.service_config, pool=node.pool
+            )
+        self.failovers = 0
+        self.hedges = 0
+        self.recoveries = 0
+
+    # ------------------------------------------------------------------
+    # topology
+    # ------------------------------------------------------------------
+
+    def replica_nodes(self, shard: int) -> list[SimNode]:
+        """The replica set of ``shard``, primary first."""
+        r = self.config.replicas
+        return self.cluster.nodes[shard * r : (shard + 1) * r]
+
+    # ------------------------------------------------------------------
+    # faults
+    # ------------------------------------------------------------------
+
+    def crash(
+        self, node_id: int, at: float, recover_at: float | None = None
+    ) -> None:
+        """Arm a crash of replica ``node_id`` at work-unit time ``at``."""
+        if node_id >= self.cluster.num_nodes - 1:
+            raise ValueError("cannot crash the router node")
+        self.cluster.crash(node_id, at, recover_at)
+
+    def slow(self, node_id: int, factor: float) -> None:
+        """Scale replica ``node_id``'s dispatch costs by ``factor``."""
+        self.cluster.slow(node_id, factor)
+
+    def recover(self, node_id: int) -> None:
+        """Re-register a dead node from the snapshot catalog, now."""
+        self._do_recover(self.cluster.nodes[node_id])
+
+    def _do_recover(self, node: SimNode) -> None:
+        node.service = HCDService(
+            self.catalog,
+            self.name,
+            config=self.service_config,
+            pool=node.pool,
+        )
+        node.alive = True
+        node.crash_at = None
+        node.recover_at = None
+        node.recoveries += 1
+        self.recoveries += 1
+
+    def _maybe_recover(self, node: SimNode, now: float) -> None:
+        if not node.alive and node.recover_at is not None and now >= node.recover_at:
+            self._do_recover(node)
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+
+    def _dispatch_attempt(
+        self, node: SimNode, sub_plan
+    ) -> tuple[dict, dict, float, float]:
+        """Send one sub-batch to one replica; cost includes routing.
+
+        Returns ``(results, statuses, cost, pool_delta)`` where cost is
+        in work units (slow-scaled) and ``pool_delta`` is the node's
+        sim-clock consumption for the cluster clock.
+        """
+        network = self.cluster.network
+        config = self.config
+        request_cost = network.send(
+            self.router.node_id,
+            node.node_id,
+            config.request_bytes * max(sub_plan.distinct, 1),
+        )
+        cursor = node.work_cursor()
+        pool_mark = node.pool.mark()
+        results, statuses = node.service.answer(sub_plan)
+        work = node.work_since(cursor) * node.slow_factor
+        pool_delta = node.pool.elapsed_since(pool_mark) * node.slow_factor
+        response_cost = network.send(
+            node.node_id,
+            self.router.node_id,
+            config.response_bytes * max(len(results), 1),
+        )
+        return results, statuses, request_cost + work + response_cost, pool_delta
+
+    def _dispatch_group(
+        self, shard: int, sub_plan, now: float
+    ) -> tuple[dict, dict, float, float, dict]:
+        """Answer one shard's sub-batch with failover and hedging.
+
+        Walks the replica set primary-first; crashed replicas cost
+        ``failover_penalty`` and the next replica recomputes.  Returns
+        ``(results, statuses, cost, pool_delta, events)``; an empty
+        results dict with empty statuses means every replica was dead.
+        """
+        config = self.config
+        events = {"failovers": 0, "hedges": 0, "dispatches": 0}
+        cost = 0.0
+        pool_delta = 0.0
+        replicas = self.replica_nodes(shard)
+        for index, node in enumerate(replicas):
+            self._maybe_recover(node, now + cost)
+            if not node.alive:
+                continue  # known-dead: the router routes around it
+            if node.crash_at is not None and now + cost >= node.crash_at:
+                # crashed between batches: discover it at dispatch time
+                node.alive = False
+                node.crashes += 1
+                events["failovers"] += 1
+                self.failovers += 1
+                cost += config.failover_penalty
+                continue
+            events["dispatches"] += 1
+            results, statuses, attempt, delta = self._dispatch_attempt(
+                node, sub_plan
+            )
+            pool_delta += delta
+            if (
+                node.crash_at is not None
+                and now + cost + attempt >= node.crash_at
+            ):
+                # crash mid-batch: the in-flight work is lost; pay the
+                # time until the crash plus the failover penalty and
+                # let the next replica recompute from its own state
+                lost = max(node.crash_at - (now + cost), 0.0)
+                node.alive = False
+                node.crashes += 1
+                events["failovers"] += 1
+                self.failovers += 1
+                cost += lost + config.failover_penalty
+                continue
+            hedge_partner = next(
+                (
+                    peer
+                    for peer in replicas[index + 1 :] + replicas[:index]
+                    if peer.alive and peer is not node and peer.crash_at is None
+                ),
+                None,
+            )
+            if attempt > config.hedge_timeout and hedge_partner is not None:
+                # deterministic hedging: the backup request fires at
+                # the timeout and the batch completes at whichever
+                # replica answers first
+                h_results, h_statuses, h_attempt, h_delta = (
+                    self._dispatch_attempt(hedge_partner, sub_plan)
+                )
+                pool_delta += h_delta
+                hedged_cost = (
+                    config.hedge_timeout + config.hedge_backoff + h_attempt
+                )
+                events["hedges"] += 1
+                self.hedges += 1
+                if hedged_cost < attempt:
+                    cost += hedged_cost
+                    return h_results, h_statuses, cost, pool_delta, events
+                cost += attempt
+                return results, statuses, cost, pool_delta, events
+            cost += attempt
+            return results, statuses, cost, pool_delta, events
+        return {}, {}, cost, pool_delta, events
+
+    # ------------------------------------------------------------------
+    # the replay loop
+    # ------------------------------------------------------------------
+
+    def serve(self, trace: list[dict], refresh: bool = True) -> ClusterReport:
+        """Replay a trace through the sharded router; see module docs."""
+        config = self.service_config
+        for node in self.cluster.nodes[:-1]:
+            if refresh and node.alive and node.service is not None:
+                node.service.refresh()
+        reference = self.replica_nodes(0)[0].service
+        pool = self.router.pool
+        pending: deque[tuple[int, float, dict]] = deque()
+        last_arrival = float("-inf")
+        for rid, entry in enumerate(trace):
+            if not isinstance(entry, dict):
+                raise WorkloadError(
+                    f"trace[{rid}]: entry must be an object, "
+                    f"got {type(entry).__name__}"
+                )
+            arrival = entry.get("arrival", 0)
+            if not isinstance(arrival, (int, float)) or isinstance(arrival, bool):
+                raise WorkloadError(
+                    f"trace[{rid}]: field 'arrival' must be a number, "
+                    f"got {arrival!r}"
+                )
+            arrival = float(arrival)
+            if arrival < last_arrival:
+                raise WorkloadError(
+                    f"trace[{rid}]: field 'arrival' decreased "
+                    f"({arrival} after {last_arrival})"
+                )
+            last_arrival = arrival
+            pending.append((rid, arrival, entry))
+
+        report = ClusterReport(
+            snapshot=reference.snapshot.version_id,
+            threads=pool.threads,
+            num_shards=self.config.num_shards,
+            replicas=self.config.replicas,
+        )
+        shard_stats = [
+            {
+                "shard": s,
+                "requests": 0,
+                "dispatches": 0,
+                "work": 0.0,
+                "hedges": 0,
+                "failovers": 0,
+            }
+            for s in range(self.config.num_shards)
+        ]
+        queue: deque[tuple[int, float, dict]] = deque()
+        region_cursor = len(pool.regions)
+        now = 0.0
+
+        def drain() -> None:
+            """Advance the clock by router-local regions (admit/plan)."""
+            nonlocal now, region_cursor
+            regions = pool.regions
+            while region_cursor < len(regions):
+                stats = regions[region_cursor]
+                now += stats.work_total + stats.atomic_ops
+                region_cursor += 1
+
+        while pending or queue:
+            # ---- admit (identical to the single-node service) --------
+            if not queue and pending and pending[0][1] > now:
+                now = pending[0][1]
+            arrivals = []
+            while pending and pending[0][1] <= now:
+                arrivals.append(pending.popleft())
+            if arrivals:
+                with pool.phase("cluster.admit"):
+                    with pool.serial_region("cluster:admit") as ctx:
+                        ctx.charge(config.admit_cost * len(arrivals))
+                for rid, arrival, entry in arrivals:
+                    if len(queue) >= config.queue_capacity:
+                        report.shed += 1
+                        report.records.append(
+                            RequestRecord(
+                                rid=rid,
+                                fingerprint="",
+                                status="shed",
+                                arrival=arrival,
+                                latency=0.0,
+                                batch=-1,
+                            )
+                        )
+                    else:
+                        queue.append((rid, arrival, entry))
+                drain()
+            if not queue:
+                continue
+
+            # ---- plan ------------------------------------------------
+            batch_id = report.batches
+            report.batches += 1
+            taken = [
+                queue.popleft()
+                for _ in range(min(config.max_batch, len(queue)))
+            ]
+            report.admitted += len(taken)
+            normalized = []
+            with pool.phase("cluster.plan"):
+                with pool.serial_region("cluster:plan") as ctx:
+                    ctx.charge(config.plan_cost * len(taken))
+            for rid, arrival, entry in taken:
+                try:
+                    query = normalize_request(entry, where=f"trace[{rid}]")
+                except WorkloadError:
+                    report.invalid += 1
+                    report.records.append(
+                        RequestRecord(
+                            rid=rid,
+                            fingerprint="",
+                            status="invalid",
+                            arrival=arrival,
+                            latency=0.0,
+                            batch=batch_id,
+                        )
+                    )
+                    continue
+                normalized.append((rid, arrival, query))
+            plan = self.planner.plan([(rid, q) for rid, _, q in normalized])
+            report.coalesced += plan.coalesced
+            drain()
+
+            # ---- route + dispatch (shards work in parallel) ----------
+            groups: dict[int, list[str]] = {}
+            for fingerprint in plan.queries:
+                shard = shard_of(fingerprint, self.config.num_shards)
+                groups.setdefault(shard, []).append(fingerprint)
+            answers: dict[str, object] = {}
+            statuses: dict[str, str] = {}
+            comms0 = self.cluster.network.total_cost
+            messages0 = self.cluster.network.messages
+            bytes0 = self.cluster.network.bytes_sent
+            group_costs: dict[int, float] = {}
+            group_deltas: dict[int, float] = {}
+            for shard in sorted(groups):
+                fps = groups[shard]
+                sub_plan = self.planner.plan(
+                    [
+                        (plan.requesters[fp][0], plan.queries[fp])
+                        for fp in fps
+                    ]
+                )
+                results, group_statuses, cost, pool_delta, events = (
+                    self._dispatch_group(shard, sub_plan, now)
+                )
+                answers.update(results)
+                statuses.update(group_statuses)
+                group_costs[shard] = cost
+                group_deltas[shard] = pool_delta
+                stats = shard_stats[shard]
+                stats["requests"] += len(fps)
+                stats["dispatches"] += events["dispatches"]
+                stats["work"] += cost
+                stats["hedges"] += events["hedges"]
+                stats["failovers"] += events["failovers"]
+            # shard groups run concurrently on different nodes: the
+            # batch completes when the slowest group does (the same
+            # max-compose rule as the decomposition supersteps)
+            batch_cost = max(group_costs.values(), default=0.0)
+            now += batch_cost
+            self.cluster.compute_clock += max(
+                group_deltas.values(), default=0.0
+            )
+            self.cluster.supersteps.append(
+                SuperstepRecord(
+                    index=len(self.cluster.supersteps),
+                    label=f"serve:batch{batch_id}",
+                    compute=max(group_deltas.values(), default=0.0),
+                    comms=self.cluster.network.total_cost - comms0,
+                    node_compute=group_deltas,
+                    messages=self.cluster.network.messages - messages0,
+                    bytes=self.cluster.network.bytes_sent - bytes0,
+                )
+            )
+
+            # ---- complete --------------------------------------------
+            completion = now
+            leaders = {fp: rids[0] for fp, rids in plan.requesters.items()}
+            for rid, arrival, query in normalized:
+                fingerprint = query.fingerprint
+                if fingerprint not in answers:
+                    status = "failed"
+                    report.failed += 1
+                elif leaders.get(fingerprint) != rid:
+                    status = "shared"
+                    report.shared += 1
+                elif statuses.get(fingerprint) == "hit":
+                    status = "hit"
+                    report.hits += 1
+                else:
+                    status = "ok"
+                    report.computed += 1
+                if fingerprint in answers:
+                    report.results[rid] = answers[fingerprint]
+                report.records.append(
+                    RequestRecord(
+                        rid=rid,
+                        fingerprint=fingerprint,
+                        status=status,
+                        arrival=arrival,
+                        latency=(
+                            completion - arrival
+                            if fingerprint in answers
+                            else 0.0
+                        ),
+                        batch=batch_id,
+                    )
+                )
+
+        report.records.sort(key=lambda r: r.rid)
+        report.work_units = now
+        report.sim_clock = self.router.pool.clock
+        report.failovers = self.failovers
+        report.hedges = self.hedges
+        report.recoveries = self.recoveries
+        # comms_clock accrued inside the network counters; fold the
+        # serving traffic into the cluster clock
+        self.cluster.comms_clock = self.cluster.network.total_cost
+        report.cluster_clock = self.cluster.clock
+        report.network = self.cluster.network.stats()
+        report.per_shard = shard_stats
+        # cache counters summed over every replica (hit_rate recomputed)
+        totals = {"hits": 0, "misses": 0, "evictions": 0, "puts": 0, "size": 0, "capacity": 0}
+        for node in self.cluster.nodes[:-1]:
+            if node.service is None:
+                continue
+            stats = node.service.cache.stats()
+            for key in totals:
+                totals[key] += getattr(stats, key)
+        probes = totals["hits"] + totals["misses"]
+        totals["hit_rate"] = totals["hits"] / probes if probes else 0.0
+        report.cache = totals
+        return report

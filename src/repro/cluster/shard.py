@@ -1,0 +1,159 @@
+"""Edge-cut graph sharding with boundary/ghost bookkeeping.
+
+A :class:`ShardedGraph` assigns every vertex to exactly one shard (its
+*owner*) and precomputes, per shard:
+
+* ``owned``    — the shard's vertices, ascending;
+* ``boundary`` — owned vertices with at least one remote neighbor
+  (their estimate updates must be shipped to other shards);
+* ``ghosts``   — remote vertices adjacent to the shard (whose values
+  the shard reads but never writes).
+
+Two partitioning strategies are supported: ``"range"`` assigns
+contiguous vertex-id ranges (the trivially balanced baseline) and
+``"lp"`` reuses the Spinner-style
+:func:`~repro.core.partition.label_propagation_partition`, which
+trades balance for a smaller edge cut — the difference shows up
+directly in the network counters of a distributed run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.graph.graph import Graph
+from repro.parallel.scheduler import SimulatedPool
+
+__all__ = ["ShardPart", "ShardedGraph", "shard_graph"]
+
+STRATEGIES = ("range", "lp")
+
+
+@dataclass
+class ShardPart:
+    """One shard's slice of the graph."""
+
+    shard_id: int
+    owned: np.ndarray      # owned vertex ids, ascending
+    boundary: np.ndarray   # owned vertices with a remote neighbor
+    ghosts: np.ndarray     # remote vertices adjacent to this shard
+    #: boundary vertex -> shards that own one of its neighbors
+    targets: dict[int, tuple[int, ...]] = field(default_factory=dict)
+
+    @property
+    def size(self) -> int:
+        return int(self.owned.size)
+
+
+@dataclass
+class ShardedGraph:
+    """A graph plus an owner map and per-shard boundary structure."""
+
+    graph: Graph
+    num_shards: int
+    strategy: str
+    owner: np.ndarray              # vertex -> owning shard
+    parts: list[ShardPart]
+    edge_cut: int                  # edges with endpoints in two shards
+
+    @property
+    def cut_fraction(self) -> float:
+        m = self.graph.num_edges
+        return self.edge_cut / m if m else 0.0
+
+    def part(self, shard_id: int) -> ShardPart:
+        return self.parts[shard_id]
+
+    def stats(self) -> dict:
+        """JSON-ready partition quality summary."""
+        return {
+            "num_shards": self.num_shards,
+            "strategy": self.strategy,
+            "edge_cut": self.edge_cut,
+            "cut_fraction": self.cut_fraction,
+            "shard_sizes": [p.size for p in self.parts],
+            "boundary_sizes": [int(p.boundary.size) for p in self.parts],
+            "ghost_sizes": [int(p.ghosts.size) for p in self.parts],
+        }
+
+
+def _owner_labels(
+    graph: Graph,
+    num_shards: int,
+    strategy: str,
+    pool: SimulatedPool | None,
+) -> np.ndarray:
+    n = graph.num_vertices
+    if strategy == "range":
+        return (np.arange(n, dtype=np.int64) * num_shards) // max(n, 1)
+    if strategy == "lp":
+        from repro.core.partition import label_propagation_partition
+
+        lp_pool = pool or SimulatedPool(threads=4)
+        return label_propagation_partition(graph, num_shards, lp_pool)
+    raise ValueError(
+        f"unknown shard strategy {strategy!r}; expected one of {STRATEGIES}"
+    )
+
+
+def shard_graph(
+    graph: Graph,
+    num_shards: int,
+    strategy: str = "range",
+    pool: SimulatedPool | None = None,
+) -> ShardedGraph:
+    """Partition ``graph`` into ``num_shards`` shards with ghost lists.
+
+    ``pool`` is only used by the ``"lp"`` strategy (the label
+    propagation runs on it and its cost is charged there); the
+    ``"range"`` strategy is free.
+    """
+    if num_shards < 1:
+        raise ValueError("num_shards must be >= 1")
+    n = graph.num_vertices
+    owner = _owner_labels(graph, num_shards, strategy, pool)
+    indptr, indices = graph.indptr, graph.indices
+
+    # remote[v]: does v have any neighbor owned by another shard?
+    neighbor_owner = owner[indices]
+    remote_mask = np.zeros(n, dtype=bool)
+    edge_cut = 0
+    for v in range(n):
+        row = neighbor_owner[indptr[v] : indptr[v + 1]]
+        if row.size and bool(np.any(row != owner[v])):
+            remote_mask[v] = True
+            edge_cut += int(np.count_nonzero(row != owner[v]))
+    edge_cut //= 2  # each cut edge seen from both endpoints
+
+    parts: list[ShardPart] = []
+    for s in range(num_shards):
+        owned = np.flatnonzero(owner == s).astype(np.int64)
+        boundary = owned[remote_mask[owned]]
+        ghost_set: set[int] = set()
+        targets: dict[int, tuple[int, ...]] = {}
+        for v in boundary.tolist():
+            row = indices[indptr[v] : indptr[v + 1]]
+            row_owner = owner[row]
+            remote = row_owner != s
+            ghost_set.update(int(u) for u in row[remote])
+            targets[int(v)] = tuple(sorted(set(int(t) for t in row_owner[remote])))
+        ghosts = np.asarray(sorted(ghost_set), dtype=np.int64)
+        parts.append(
+            ShardPart(
+                shard_id=s,
+                owned=owned,
+                boundary=boundary,
+                ghosts=ghosts,
+                targets=targets,
+            )
+        )
+    return ShardedGraph(
+        graph=graph,
+        num_shards=num_shards,
+        strategy=strategy,
+        owner=owner,
+        parts=parts,
+        edge_cut=edge_cut,
+    )

@@ -40,24 +40,34 @@ def _span_args(span: Span) -> dict:
     return args
 
 
-def chrome_trace(tracer: SpanTracer, pool) -> dict:
+def chrome_trace(
+    tracer: SpanTracer,
+    pool,
+    pid: int = 0,
+    process_name: str | None = None,
+) -> dict:
     """Chrome ``trace_event`` JSON object for a traced run.
 
     The returned dict serializes with :func:`json.dumps` and loads in
     ``chrome://tracing`` / Perfetto.  ``displayTimeUnit`` is ``ms``;
-    simulated clock units map 1:1 onto microseconds.
+    simulated clock units map 1:1 onto microseconds.  ``pid`` and
+    ``process_name`` place the events on a named process track, which
+    lets multi-pool callers (the cluster profiler) merge several pools
+    into one trace with one process lane per node.
     """
+    if process_name is None:
+        process_name = f"SimulatedPool(p={pool.threads})"
     events: list[dict] = [
         {
             "ph": "M",
-            "pid": 0,
+            "pid": pid,
             "tid": 0,
             "name": "process_name",
-            "args": {"name": f"SimulatedPool(p={pool.threads})"},
+            "args": {"name": process_name},
         },
         {
             "ph": "M",
-            "pid": 0,
+            "pid": pid,
             "tid": 0,
             "name": "thread_name",
             "args": {"name": "phases+regions"},
@@ -67,7 +77,7 @@ def chrome_trace(tracer: SpanTracer, pool) -> dict:
         events.append(
             {
                 "ph": "M",
-                "pid": 0,
+                "pid": pid,
                 "tid": t + 1,
                 "name": "thread_name",
                 "args": {"name": f"vthread {t}"},
@@ -79,7 +89,7 @@ def chrome_trace(tracer: SpanTracer, pool) -> dict:
             events.append(
                 {
                     "ph": "X",
-                    "pid": 0,
+                    "pid": pid,
                     "tid": 0,
                     "cat": cat,
                     "name": span.name,
@@ -96,7 +106,7 @@ def chrome_trace(tracer: SpanTracer, pool) -> dict:
                 events.append(
                     {
                         "ph": "X",
-                        "pid": 0,
+                        "pid": pid,
                         "tid": t + 1,
                         "cat": "vthread",
                         "name": span.name,

@@ -239,6 +239,43 @@ def _kernel_dynamic_publish(pool: SimulatedPool) -> None:
     snapshot_from_dynamic(dyn, pool=pool, name="sanitize-dyn", previous=base)
 
 
+def _kernel_cluster_decompose(pool: SimulatedPool) -> None:
+    from repro.cluster.cluster import SimCluster
+    from repro.cluster.decomposition import distributed_core_decomposition
+    from repro.cluster.shard import shard_graph
+
+    # shared-pool mode: every SimNode aliases the sanitized pool, so
+    # the detector watches each shard's local rounds of every superstep
+    graph = powerlaw_cluster(200, 3, 0.3, seed=15)
+    cluster = SimCluster(2, pool=pool)
+    sharded = shard_graph(graph, 2, strategy="range", pool=pool)
+    distributed_core_decomposition(graph, cluster, sharded)
+
+
+def _kernel_cluster_serve(pool: SimulatedPool) -> None:
+    import tempfile
+
+    from repro.cluster.service import ClusterService, ClusterServiceConfig
+    from repro.serve.catalog import SnapshotCatalog
+    from repro.serve.service import synthetic_trace
+    from repro.serve.snapshot import build_snapshot
+
+    # the sharded serving path under a deterministic mid-run crash:
+    # snapshot build, routed sub-batches on replica services, failover
+    graph = powerlaw_cluster(150, 3, 0.3, seed=23)
+    with tempfile.TemporaryDirectory() as root:
+        catalog = SnapshotCatalog(root)
+        catalog.publish(build_snapshot(graph, pool=pool, name="sanitize-cluster"))
+        service = ClusterService(
+            catalog,
+            "sanitize-cluster",
+            config=ClusterServiceConfig(num_shards=2, replicas=2),
+            pool=pool,
+        )
+        service.crash(0, at=200.0)
+        service.serve(synthetic_trace(12, seed=3))
+
+
 #: Registry of named kernels; order is the ``--all-kernels`` run order.
 KERNELS: dict[str, object] = {
     "pkc": _kernel_pkc,
@@ -253,6 +290,8 @@ KERNELS: dict[str, object] = {
     "serve_batch": _kernel_serve_batch,
     "dynamic_batch": _kernel_dynamic_batch,
     "dynamic_publish": _kernel_dynamic_publish,
+    "cluster_decompose": _kernel_cluster_decompose,
+    "cluster_serve": _kernel_cluster_serve,
 }
 
 
@@ -449,6 +488,51 @@ KERNEL_EFFECTS: dict[str, dict[str, tuple[str, ...]]] = {
             "uf",
         ),
     },
+    "cluster_decompose": {
+        # the shard-local h-index rounds (cl_new/local/new_vals) plus
+        # the label-propagation partitioner reachable through
+        # shard_graph (labels/sizes/new_labels/part_* — flow is static,
+        # so the lp path counts even when the kernel runs strategy
+        # "range")
+        "reads": ("indices", "indptr", "labels", "local", "sizes"),
+        "writes": ("cl_new", "new_labels", "new_vals", "part_newlab"),
+        "atomics": ("part_sizes",),
+    },
+    "cluster_serve": {
+        # identical to serve_batch: the routed replica path reuses the
+        # snapshot build + executor kernels; the router itself only
+        # runs serial regions
+        "reads": (
+            "bins",
+            "coreness",
+            "indices",
+            "indptr",
+            "next_parts",
+            "settled",
+            "vsort",
+        ),
+        "writes": (
+            "bins",
+            "coreness",
+            "eq",
+            "gt",
+            "hcd_parent",
+            "next_parts",
+            "pkc_core",
+            "pre_counts",
+            "rank",
+            "tid",
+        ),
+        "atomics": (
+            "HL",
+            "degree",
+            "hcd_nodes",
+            "kpc_pivot",
+            "node_members",
+            "tid_arr",
+            "uf",
+        ),
+    },
     "serve_batch": {
         "reads": (
             "bins",
@@ -526,6 +610,14 @@ KERNEL_EXTENTS: dict[str, dict[str, str]] = {
     "serve_batch": dict(_CSR_EXTENTS),
     "dynamic_batch": {"coreness": "n"},
     "dynamic_publish": dict(_CSR_EXTENTS),
+    "cluster_decompose": {
+        "indptr": "n + 1",
+        "indices": "2 * m",
+        "cl_new": "n",
+        "local": "n",
+        "new_vals": "n",
+    },
+    "cluster_serve": dict(_CSR_EXTENTS),
 }
 
 

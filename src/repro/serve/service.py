@@ -31,6 +31,7 @@ All four stages run under SimProf-visible phases ``serve.admit``,
 
 from __future__ import annotations
 
+import hashlib
 import json
 import math
 import os
@@ -155,6 +156,8 @@ class ServiceReport:
     work_units: float = 0.0    # thread-count-independent service clock
     sim_clock: float = 0.0     # pool clock consumed (p-dependent)
     cache: dict = field(default_factory=dict)
+    #: rid -> the answer it received (answered requests only)
+    results: dict[int, QueryResult] = field(default_factory=dict)
 
     @property
     def latencies(self) -> list[float]:
@@ -187,6 +190,26 @@ class ServiceReport:
     def histogram(self) -> dict[str, int]:
         return _histogram(self.latencies)
 
+    def answers(self) -> dict[int, dict]:
+        """Per-request answer payloads, keyed on rid (JSON-ready)."""
+        return {
+            rid: result.as_dict()
+            for rid, result in sorted(self.results.items())
+        }
+
+    def answers_digest(self) -> str:
+        """SHA-256 over the canonical answer payloads.
+
+        This is the byte-identity signature the cluster router is held
+        to: a sharded, replicated, fault-injected replay must produce
+        exactly this digest.
+        """
+        payload = json.dumps(
+            {str(rid): answer for rid, answer in self.answers().items()},
+            sort_keys=True,
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
     def as_dict(self) -> dict:
         """JSON-ready summary (the deterministic replay signature)."""
         return {
@@ -211,6 +234,7 @@ class ServiceReport:
             "work_units": self.work_units,
             "sim_clock": self.sim_clock,
             "cache": dict(self.cache),
+            "answers_digest": self.answers_digest(),
         }
 
 
@@ -265,6 +289,48 @@ class HCDService:
 
     def _cache_key(self, fingerprint: str) -> tuple:
         return (self.snapshot.version_id, fingerprint)
+
+    # ------------------------------------------------------------------
+
+    def answer(self, plan) -> tuple[dict[str, QueryResult], dict[str, str]]:
+        """Answer one planned batch: cache probe, then execute misses.
+
+        This is the replica-side path — the cluster router plans and
+        routes, each replica answers its shard's sub-plan through this
+        method.  Returns ``(results, statuses)`` keyed on fingerprint;
+        a status is ``"hit"`` (result cache) or ``"ok"`` (executed).
+        Answers depend only on the snapshot and the queries, never on
+        batch composition, which is what makes sharded serving
+        byte-identical to a single service.
+        """
+        pool = self.pool
+        results: dict[str, QueryResult] = {}
+        statuses: dict[str, str] = {}
+        if plan.is_empty():
+            return results, statuses
+        with pool.phase("serve.cache"):
+            with pool.serial_region("serve:cache") as ctx:
+                ctx.charge(self.config.probe_cost * plan.distinct)
+        for fingerprint in list(plan.queries):
+            cached = self.cache.get(self._cache_key(fingerprint))
+            if cached is not None:
+                results[fingerprint] = cached
+                statuses[fingerprint] = "hit"
+        misses = {
+            fp: q for fp, q in plan.queries.items() if fp not in results
+        }
+        if misses:
+            miss_plan = self.planner.plan(
+                [(rid, q) for fp, q in misses.items()
+                 for rid in plan.requesters[fp][:1]]
+            )
+            with pool.phase("serve.execute"):
+                computed = self.executor.execute(miss_plan)
+            for fingerprint, result in computed.items():
+                self.cache.put(self._cache_key(fingerprint), result)
+                results[fingerprint] = result
+                statuses[fingerprint] = "ok"
+        return results, statuses
 
     # ------------------------------------------------------------------
 
@@ -381,33 +447,9 @@ class HCDService:
             report.coalesced += plan.coalesced
             drain()
 
-            # ---- cache probe -----------------------------------------
-            hits: dict[str, QueryResult] = {}
-            if not plan.is_empty():
-                with pool.phase("serve.cache"):
-                    with pool.serial_region("serve:cache") as ctx:
-                        ctx.charge(config.probe_cost * plan.distinct)
-                for fingerprint in list(plan.queries):
-                    cached = self.cache.get(self._cache_key(fingerprint))
-                    if cached is not None:
-                        hits[fingerprint] = cached
-                drain()
-
-            # ---- execute ---------------------------------------------
-            misses = {
-                fp: q for fp, q in plan.queries.items() if fp not in hits
-            }
-            computed: dict[str, QueryResult] = {}
-            if misses:
-                miss_plan = self.planner.plan(
-                    [(rid, q) for fp, q in misses.items()
-                     for rid in plan.requesters[fp][:1]]
-                )
-                with pool.phase("serve.execute"):
-                    computed = self.executor.execute(miss_plan)
-                for fingerprint, result in computed.items():
-                    self.cache.put(self._cache_key(fingerprint), result)
-                drain()
+            # ---- cache probe + execute -------------------------------
+            answers, statuses = self.answer(plan)
+            drain()
 
             # ---- complete --------------------------------------------
             # The leader (first requester) of each fingerprint is the
@@ -425,12 +467,14 @@ class HCDService:
                 if leaders.get(fingerprint) != rid:
                     status = "shared"
                     report.shared += 1
-                elif fingerprint in hits:
+                elif statuses.get(fingerprint) == "hit":
                     status = "hit"
                     report.hits += 1
                 else:
                     status = "ok"
                     report.computed += 1
+                if fingerprint in answers:
+                    report.results[rid] = answers[fingerprint]
                 report.records.append(
                     RequestRecord(
                         rid=rid,
