@@ -1,10 +1,10 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check test sanitize memcheck lint flow prove profile bench-sanitize bench-profile bench-flow bench-prove serve-bench bench-dynamic bench-cluster
+.PHONY: check test sanitize memcheck lint flow prove dist profile bench-sanitize bench-profile bench-flow bench-prove bench-dist serve-bench bench-dynamic bench-cluster
 
-## check: the CI gate — tests, strict lint, flow analysis, prove certification, kernel race+memcheck sweep, profiler selftest, dynamic + prove + cluster benches
-check: test lint flow prove sanitize memcheck profile bench-dynamic bench-prove bench-cluster
+## check: the CI gate — tests, strict lint, flow analysis, prove + dist certification, kernel race+memcheck sweep, profiler selftest, dynamic + prove + dist + cluster benches
+check: test lint flow prove dist sanitize memcheck profile bench-dynamic bench-prove bench-dist bench-cluster
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -34,6 +34,11 @@ prove:
 	$(PYTHON) -m repro sanitize --strict --prove
 	$(PYTHON) -m repro sanitize --prove --selftest
 
+## dist: SimDist SAN6xx certification — monotonicity, BSP phases, ownership, wire schemas, replay safety, manifest drift
+dist:
+	$(PYTHON) -m repro sanitize --strict --dist
+	$(PYTHON) -m repro sanitize --dist --selftest
+
 ## profile: SimProf zero-perturbation selftest
 profile:
 	$(PYTHON) -m repro profile --selftest
@@ -53,6 +58,10 @@ bench-flow:
 ## bench-prove: refresh benchmarks/results/BENCH_prove.json (certification + barrier elision)
 bench-prove:
 	$(PYTHON) benchmarks/bench_prove.py
+
+## bench-dist: refresh benchmarks/results/BENCH_dist.json (protocol certification coverage + zero perturbation)
+bench-dist:
+	$(PYTHON) benchmarks/bench_dist.py
 
 ## serve-bench: refresh benchmarks/results/BENCH_serve.json (HCDServe replay)
 serve-bench:

@@ -1,0 +1,173 @@
+"""SimDist bench — starts the ``BENCH_dist.json`` trajectory.
+
+Three stages:
+
+* **certify** — wall time of the full SAN6xx certification pass over
+  the cluster layer (monotonicity + phase + ownership + replay
+  obligations, wire-schema derivation, manifest payload), with
+  protocol / kernel-coverage counts riding along as guards: every
+  ``cluster_*`` kernel in the registry must be claimed by a certified
+  protocol and the pass must report zero findings;
+* **verify** — wall time of the committed-manifest drift check
+  (:func:`verify_dist_manifest`), i.e. the cost the pytest ``--dist``
+  gate adds to a suite run;
+* **perturbation** — the distributed decomposition kernel runs
+  before and after a full SAN6xx pass: static certification must
+  leave the simulated clock bit-identical (the analysis never touches
+  the substrate, so the delta is asserted to be exactly ``0.0``).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_dist.py
+
+Writes ``benchmarks/results/BENCH_dist.json`` and prints a table.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from common import emit, paper_table, results_dir  # noqa: E402
+from repro.sanitizer.dist import (  # noqa: E402
+    analyze_dist,
+    verify_dist_manifest,
+)
+from repro.sanitizer.kernels import KERNELS, run_kernel  # noqa: E402
+
+REPEATS = 3
+PERTURB_KERNEL = "cluster_decompose"
+
+
+def _timed(fn):
+    """(result, best-of-N wall seconds) for one stage."""
+    best = float("inf")
+    result = None
+    for _ in range(REPEATS):
+        begin = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - begin)
+    return result, best
+
+
+def _perturbation() -> dict:
+    """Sim-clock of a cluster kernel before/after a full SAN6xx pass."""
+    before = run_kernel(PERTURB_KERNEL)
+    analyze_dist()  # static pass: must not touch the substrate
+    after = run_kernel(PERTURB_KERNEL)
+    delta = after.clock - before.clock
+    assert delta == 0.0, (
+        f"{PERTURB_KERNEL}: SAN6xx analysis perturbed the sim clock "
+        f"by {delta}"
+    )
+    assert after.events == before.events
+    return {
+        "kernel": PERTURB_KERNEL,
+        "clock_before": before.clock,
+        "clock_after": after.clock,
+        "clock_delta": delta,
+        "events": after.events,
+    }
+
+
+def run() -> dict:
+    report, wall_certify = _timed(lambda: analyze_dist())
+    cluster_kernels = sorted(k for k in KERNELS if k.startswith("cluster"))
+    unclassified = sorted(
+        k for k, v in report.kernels.items() if v == "unclassified"
+    )
+    # coverage guards: the whole cluster registry is claimed and clean
+    assert set(cluster_kernels) <= set(report.kernels), (
+        f"cluster kernels missing from the dist report: "
+        f"{sorted(set(cluster_kernels) - set(report.kernels))}"
+    )
+    assert not unclassified, f"unclassified kernels: {unclassified}"
+    assert not report.findings, [str(f) for f in report.findings]
+    obligations = sum(
+        len(c.obligations) for c in report.certificates.values()
+    )
+    sends = sum(len(c.sends) for c in report.certificates.values())
+    (ok, message), wall_verify = _timed(lambda: verify_dist_manifest())
+    assert ok, f"dist manifest gate failed: {message}"
+    perturb, wall_perturb = _timed(_perturbation)
+    return {
+        "bench": "dist_certification",
+        "repeats": REPEATS,
+        "stages": {
+            "certify": {
+                "wall_s": wall_certify,
+                "protocols": len(report.certificates),
+                "certified": len(report.certified),
+                "kernels": dict(sorted(report.kernels.items())),
+                "cluster_kernels": cluster_kernels,
+                "obligations": obligations,
+                "send_sites": sends,
+                "findings": len(report.findings),
+            },
+            "verify": {"wall_s": wall_verify, "message": message},
+            "perturbation": {"wall_s": wall_perturb, **perturb},
+        },
+    }
+
+
+def main() -> int:
+    payload = run()
+    out = results_dir() / "BENCH_dist.json"
+    out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    s = payload["stages"]
+    rows = [
+        [
+            "certify",
+            f"{s['certify']['wall_s'] * 1e3:.1f}",
+            f"{s['certify']['certified']}/{s['certify']['protocols']}"
+            " protocols",
+            f"{len(s['certify']['kernels'])} kernels classified, "
+            f"{s['certify']['obligations']} obligations, "
+            f"{s['certify']['send_sites']} send sites",
+        ],
+        [
+            "verify",
+            f"{s['verify']['wall_s'] * 1e3:.1f}",
+            "committed manifest",
+            s["verify"]["message"],
+        ],
+        [
+            "perturbation",
+            f"{s['perturbation']['wall_s'] * 1e3:.1f}",
+            s["perturbation"]["kernel"],
+            f"clock delta {s['perturbation']['clock_delta']:.1f} "
+            f"({s['perturbation']['events']} events)",
+        ],
+    ]
+    emit(
+        "bench_dist",
+        paper_table(
+            ["stage", "wall (ms)", "scope", "outcome"],
+            rows,
+            title="SimDist protocol certification"
+            f" (best of {REPEATS})",
+        ),
+    )
+    print(f"wrote {out}")
+    return 0
+
+
+def test_bench_dist():
+    """Pytest entry: full coverage, clean pass, zero perturbation."""
+    payload = run()
+    s = payload["stages"]
+    assert s["certify"]["certified"] == s["certify"]["protocols"] >= 2
+    assert s["certify"]["findings"] == 0
+    assert set(s["certify"]["cluster_kernels"]) <= set(
+        s["certify"]["kernels"]
+    )
+    assert "unclassified" not in s["certify"]["kernels"].values()
+    assert s["perturbation"]["clock_delta"] == 0.0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -106,17 +106,19 @@ def build_parser() -> argparse.ArgumentParser:
             "the static SAN1xx-SAN3xx lint pass over source trees, "
             "the SimFlow SAN4xx CFG/dataflow analysis (--flow), the "
             "SimProve SAN5xx static bounds/determinism certification "
-            "(--prove), and the seeded-bug selftests.  With no "
-            "options: all kernels, lint + flow + prove over src/ and "
-            "benchmarks/, and the selftests."
+            "(--prove), the SimDist SAN6xx distributed-protocol "
+            "certification (--dist), and the seeded-bug selftests.  "
+            "With no options: all kernels, lint + flow + prove + dist "
+            "over src/ and benchmarks/, and the selftests."
         ),
         epilog=(
             "Exit status: 0 when every family that ran is clean; "
             "1 when ANY family reports (a race, a memcheck finding, "
-            "a lint or flow error, a SAN501 provable OOB, prove-"
-            "manifest drift, a stale flow-baseline entry or any "
-            "warning under --strict, or a failed selftest); 2 on "
-            "usage errors.  One summary line is printed per family."
+            "a lint or flow error, a SAN501 provable OOB, a SAN6xx "
+            "protocol violation, prove- or dist-manifest drift, a "
+            "stale flow-baseline entry or any warning under --strict, "
+            "or a failed selftest); 2 on usage errors.  One summary "
+            "line is printed per family."
         ),
     )
     p_san.add_argument(
@@ -186,11 +188,26 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     p_san.add_argument(
+        "--dist",
+        action="store_true",
+        help=(
+            "run the SimDist SAN6xx analysis over the cluster layer: "
+            "monotonicity certification of cross-shard estimate "
+            "updates (SAN601), BSP phase discipline (SAN602), shard-"
+            "ownership disjoint-write proofs (SAN603), declared "
+            "MESSAGE_SCHEMAS vs derived wire effects of every "
+            "Network.send site (SAN604/605), replay safety of "
+            "failover-reachable handlers (SAN606), and drift "
+            "detection against the committed dist_manifest.json"
+        ),
+    )
+    p_san.add_argument(
         "--write-manifest",
         action="store_true",
         help=(
-            "re-prove every kernel and refresh the committed "
-            "prove_manifest.json instead of failing on drift"
+            "re-prove every kernel and re-certify every protocol, "
+            "refreshing the committed prove_manifest.json and "
+            "dist_manifest.json instead of failing on drift"
         ),
     )
     p_san.add_argument(
@@ -569,6 +586,7 @@ def _cmd_sanitize(args: argparse.Namespace) -> int:
         or args.selftest
         or args.flow
         or args.prove
+        or args.dist
         or args.write_manifest
     )
     default_scope = [p for p in ("src", "benchmarks") if Path(p).exists()]
@@ -582,6 +600,7 @@ def _cmd_sanitize(args: argparse.Namespace) -> int:
         or args.all_kernels
         or args.flow
         or args.prove
+        or args.dist
         or args.write_manifest
         else list(default_scope)
     )
@@ -590,6 +609,7 @@ def _cmd_sanitize(args: argparse.Namespace) -> int:
     do_selftest = args.selftest or not explicit
     do_flow = args.flow or not explicit
     do_prove = args.prove or args.write_manifest or not explicit
+    do_dist = args.dist or args.write_manifest or not explicit
     # SimFlow analyzes the lint scope (or the default scope when only
     # --flow was given); effect signatures cover the selected kernels
     flow_paths = do_lint if do_lint else list(default_scope)
@@ -795,6 +815,8 @@ def _cmd_sanitize(args: argparse.Namespace) -> int:
             "files": flow_report.files,
         }
 
+    prove_report = None
+    prove_full = False
     if do_prove:
         from repro.sanitizer.prove import (
             DEFAULT_MANIFEST_PATH,
@@ -814,6 +836,7 @@ def _cmd_sanitize(args: argparse.Namespace) -> int:
             or set(do_kernels) == set(KERNELS)
         )
         prove_report = run_prove(None if full_set else do_kernels)
+        prove_full = full_set
         for name, cert in sorted(prove_report.certificates.items()):
             bounds = cert.bounds
             tag = "fully-proven" if cert.fully_proven else cert.status
@@ -869,6 +892,124 @@ def _cmd_sanitize(args: argparse.Namespace) -> int:
             "drift": list(drift),
         }
 
+    if do_dist:
+        from repro.sanitizer.dist import (
+            DEFAULT_DIST_MANIFEST_PATH,
+            analyze_dist,
+            diff_dist_manifest,
+            dist_manifest_payload,
+            load_dist_manifest,
+            write_dist_manifest,
+        )
+
+        print("== dist (SimDist SAN6xx protocol certification) ==")
+        dist_report = analyze_dist()
+        for name, cert in sorted(dist_report.certificates.items()):
+            print(
+                f"  {name:22s} {cert.status:12s} "
+                f"{len(cert.obligations):2d} obligation(s) "
+                f"{len(cert.sends)} send site(s) "
+                f"{len(cert.handlers)} handler(s)"
+            )
+        for finding in dist_report.findings:
+            print(f"  {finding}")
+        dist_errors = dist_report.errors
+        dist_warnings = dist_report.warnings
+        dist_drift: list[str] = []
+        if args.write_manifest:
+            write_dist_manifest(dist_report)
+            print(f"  manifest refreshed: {DEFAULT_DIST_MANIFEST_PATH}")
+        else:
+            dist_drift = diff_dist_manifest(
+                dist_manifest_payload(dist_report), load_dist_manifest()
+            )
+            for line in dist_drift:
+                print(f"  manifest drift: {line}")
+        unclassified = sorted(
+            k for k, v in dist_report.kernels.items() if v == "unclassified"
+        )
+        dist_failures = (
+            len(dist_errors)
+            + len(dist_drift)
+            + (len(dist_warnings) if args.strict else 0)
+        )
+        families["dist"] = (
+            dist_failures,
+            f"{len(dist_report.certified)} certified / "
+            f"{len(dist_report.certificates)} protocol(s), "
+            f"{len(dist_report.kernels) - len(unclassified)}/"
+            f"{len(dist_report.kernels)} kernel(s) classified, "
+            f"{len(dist_errors)} error(s), "
+            f"{len(dist_warnings)} warning(s), "
+            f"{len(dist_drift)} drift line(s)"
+            + (" [strict]" if args.strict else ""),
+        )
+        report_json["dist"] = {
+            "certificates": {
+                name: cert.as_dict()
+                for name, cert in sorted(dist_report.certificates.items())
+            },
+            "findings": [str(f) for f in dist_report.findings],
+            "kernels": dict(sorted(dist_report.kernels.items())),
+            "drift": list(dist_drift),
+        }
+
+    # SAN002 dead-suppression audit: a sani-ok / prove-assume marker
+    # is only provably dead when every family that might consume it has
+    # run — lint (unsuppressed pass), flow (suppressed_hits), and a
+    # full prove (used_marker_lines) — so the audit only fires in
+    # default/full mode, never on a single-family invocation
+    if (
+        do_lint
+        and do_flow
+        and flow_report is not None
+        and prove_report is not None
+        and prove_full
+    ):
+        from repro.sanitizer.lint import (
+            ASSUME_MARKER,
+            SUPPRESS_MARKER,
+            dead_suppressions,
+        )
+
+        used_by_file: dict[str, set[int]] = {}
+        for p, ln in getattr(flow_report, "suppressed_hits", set()):
+            used_by_file.setdefault(str(Path(p).resolve()), set()).add(ln)
+        for p, ln in getattr(prove_report, "used_marker_lines", set()):
+            used_by_file.setdefault(str(Path(p).resolve()), set()).add(ln)
+        dead: list = []
+        for root in do_lint:
+            rp = Path(root)
+            files = [rp] if rp.is_file() else sorted(rp.rglob("*.py"))
+            for fp in files:
+                try:
+                    source = fp.read_text(encoding="utf-8")
+                except (OSError, UnicodeDecodeError):
+                    continue
+                if (
+                    SUPPRESS_MARKER not in source
+                    and ASSUME_MARKER not in source
+                ):
+                    continue
+                used = used_by_file.get(str(fp.resolve()), set())
+                dead.extend(
+                    dead_suppressions(
+                        source, path=str(fp), used_lines=frozenset(used)
+                    )
+                )
+        print("== suppressions (SAN002 dead-marker audit) ==")
+        for finding in dead:
+            print(f"  {finding}")
+        if not dead:
+            print("  clean")
+        suppress_failures = len(dead) if args.strict else 0
+        families["suppress"] = (
+            suppress_failures,
+            f"{len(dead)} dead suppression(s)"
+            + (" [strict]" if args.strict else ""),
+        )
+        report_json["suppressions"] = [str(f) for f in dead]
+
     if do_selftest:
         print("== selftest (seeded-bug kernels) ==")
         ok, message = selftest(threads=max(args.threads, 2))
@@ -892,6 +1033,13 @@ def _cmd_sanitize(args: argparse.Namespace) -> int:
             pok, pmessage = prove_selftest()
             print(f"  [prove] {pmessage}")
             if not pok:
+                selftest_failures += 1
+        if do_dist:
+            from repro.sanitizer.dist import dist_selftest
+
+            dok, dmessage = dist_selftest()
+            print(f"  [dist] {dmessage}")
+            if not dok:
                 selftest_failures += 1
         families["selftest"] = (
             selftest_failures,

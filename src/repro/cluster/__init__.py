@@ -8,14 +8,19 @@ bit-identical to the single-node pipeline, and a fault-tolerant
 sharded serving router over per-node ``HCDService`` instances.
 """
 
-from repro.cluster.cluster import SimCluster, SuperstepRecord
+from repro.cluster.cluster import BSP_BARRIER, SimCluster, SuperstepRecord
 from repro.cluster.decomposition import (
     DistributedReport,
     distributed_core_decomposition,
 )
-from repro.cluster.network import Network, NetworkConfig
-from repro.cluster.node import SimNode
-from repro.cluster.shard import ShardedGraph, ShardPart, shard_graph
+from repro.cluster.network import Network, NetworkConfig, WIRE_COUNTERS
+from repro.cluster.node import LWW_FIELDS, METRIC_FIELDS, SimNode
+from repro.cluster.shard import (
+    DIST_PARTITION,
+    ShardedGraph,
+    ShardPart,
+    shard_graph,
+)
 
 __all__ = [
     "SimCluster",
@@ -32,6 +37,11 @@ __all__ = [
     "ClusterServiceConfig",
     "ClusterReport",
     "ClusterProfiler",
+    "BSP_BARRIER",
+    "WIRE_COUNTERS",
+    "LWW_FIELDS",
+    "METRIC_FIELDS",
+    "DIST_PARTITION",
 ]
 
 

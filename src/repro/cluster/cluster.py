@@ -23,7 +23,13 @@ from repro.cluster.network import Network, NetworkConfig
 from repro.cluster.node import SimNode
 from repro.parallel.scheduler import SimulatedPool
 
-__all__ = ["SuperstepRecord", "SimCluster"]
+__all__ = ["SuperstepRecord", "SimCluster", "BSP_BARRIER"]
+
+#: Name of the BSP barrier method — SimDist (SAN602) anchors its phase
+#: discipline on calls to this method: sends are only legal inside the
+#: exchange closure passed to it, and live state read by node_fns must
+#: be frozen into a snapshot before each call.
+BSP_BARRIER = "superstep"
 
 
 @dataclass

@@ -36,10 +36,31 @@ __all__ = [
     "distributed_core_decomposition",
     "MESSAGE_HEADER_BYTES",
     "ESTIMATE_BYTES",
+    "DIST_PROTOCOL",
 ]
 
 MESSAGE_HEADER_BYTES = 16
 ESTIMATE_BYTES = 8
+
+#: Declared protocol facts for SimDist (SAN6xx).  The analyzer proves
+#: against the AST that: every store into the ``estimates`` arrays is
+#: monotone non-increasing (SAN601), sends stay inside the exchange
+#: closure and ``live`` state is frozen before each superstep (SAN602),
+#: shard-parallel writes are owned-item disjoint (SAN603), and the
+#: ``handler_roots`` are replay-safe (SAN606).
+DIST_PROTOCOL = {
+    "name": "decompose",
+    "kernels": ("cluster_decompose",),
+    "estimates": ("est", "committed", "local", "new_vals"),
+    "live": ("est",),
+    "compute_roots": ("_local_refine",),
+    "send_scopes": (),
+    "recovery_roots": (),
+    "rebuild_calls": (),
+    "handler_roots": ("exchange",),
+    "metrics": (),
+    "lww": (),
+}
 
 
 @dataclass

@@ -22,11 +22,17 @@ it is purely deterministic — same sends, same totals, bit for bit.
 
 from __future__ import annotations
 
+import operator
 from dataclasses import dataclass
 
-__all__ = ["NetworkConfig", "Network"]
+__all__ = ["NetworkConfig", "Network", "WIRE_COUNTERS"]
 
 _TOPOLOGIES = ("switch", "ring")
+
+#: The only fields the wire-accounting path (send/cost/reset) may
+#: write.  SimDist (SAN604) proves nothing else is mutated there, so
+#: charging a message can never perturb protocol state.
+WIRE_COUNTERS = ("messages", "bytes_sent", "total_cost", "links")
 
 
 @dataclass(frozen=True)
@@ -90,8 +96,30 @@ class Network:
         around = abs(src - dst)
         return min(around, self.num_nodes - around)
 
+    def _check_nbytes(self, src: int, dst: int, nbytes: int) -> int:
+        """Validate a message size, naming the offending site."""
+        if isinstance(nbytes, bool):
+            raise ValueError(
+                f"message {int(src)}->{int(dst)}: nbytes must be an "
+                f"int, got bool ({nbytes!r})"
+            )
+        try:
+            nbytes = operator.index(nbytes)
+        except TypeError:
+            raise ValueError(
+                f"message {int(src)}->{int(dst)}: nbytes must be an "
+                f"int, got {type(nbytes).__name__} ({nbytes!r})"
+            ) from None
+        if nbytes < 0:
+            raise ValueError(
+                f"message {int(src)}->{int(dst)}: nbytes must be "
+                f">= 0, got {nbytes}"
+            )
+        return nbytes
+
     def cost(self, src: int, dst: int, nbytes: int) -> float:
         """Charge for one message, without sending it."""
+        nbytes = self._check_nbytes(src, dst, nbytes)
         hops = self.hops(src, dst)
         if hops == 0:
             return 0.0
@@ -103,17 +131,16 @@ class Network:
         Returns the charged cost.  Local sends (``src == dst``) are
         free and uncounted — shared-memory handoff, not a message.
         """
-        if nbytes < 0:
-            raise ValueError("nbytes must be >= 0")
+        nbytes = self._check_nbytes(src, dst, nbytes)
         charged = self.cost(src, dst, nbytes)
         if src == dst:
             return 0.0
         self.messages += 1
-        self.bytes_sent += int(nbytes)
+        self.bytes_sent += nbytes
         self.total_cost += charged
         link = self.links.setdefault((int(src), int(dst)), [0, 0])
         link[0] += 1
-        link[1] += int(nbytes)
+        link[1] += nbytes
         return charged
 
     def reset(self) -> None:

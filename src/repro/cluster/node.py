@@ -4,7 +4,16 @@ from __future__ import annotations
 
 from repro.parallel.scheduler import SimulatedPool
 
-__all__ = ["SimNode"]
+__all__ = ["SimNode", "LWW_FIELDS", "METRIC_FIELDS"]
+
+#: Node fields whose writes are last-writer-wins: replaying a handler
+#: that sets them lands in the same state (SimDist SAN606 accepts
+#: plain stores to these from failover-reachable handlers).
+LWW_FIELDS = ("alive", "crash_at", "recover_at", "service", "shard")
+
+#: Monotone event counters — replay-visible but tolerated by the
+#: byte-identity contract, which compares answers, not metrics.
+METRIC_FIELDS = ("crashes", "recoveries")
 
 
 class SimNode:

@@ -54,7 +54,37 @@ from repro.serve.service import (
     HCDService,
 )
 
-__all__ = ["ClusterServiceConfig", "ClusterReport", "ClusterService"]
+__all__ = [
+    "ClusterServiceConfig",
+    "ClusterReport",
+    "ClusterService",
+    "DIST_PROTOCOL",
+]
+
+#: Declared protocol facts for SimDist (SAN6xx).  The router carries
+#: no shared numeric estimates (answers come from immutable published
+#: snapshots), so SAN601 is vacuous; what matters here is SAN602 —
+#: sends confined to the dispatch path and recovery hooks rebuilding
+#: from the snapshot catalog — and SAN606 replay safety of every
+#: handler a failover can re-enter.
+DIST_PROTOCOL = {
+    "name": "serve",
+    "kernels": ("cluster_serve",),
+    "estimates": (),
+    "live": (),
+    "compute_roots": (),
+    "send_scopes": ("_dispatch_attempt",),
+    "recovery_roots": ("_do_recover",),
+    "rebuild_calls": ("HCDService",),
+    "handler_roots": (
+        "_dispatch_attempt",
+        "_dispatch_group",
+        "_do_recover",
+        "_maybe_recover",
+    ),
+    "metrics": ("failovers", "hedges", "recoveries"),
+    "lww": (),
+}
 
 
 @dataclass(frozen=True)

@@ -26,9 +26,22 @@ import numpy as np
 from repro.graph.graph import Graph
 from repro.parallel.scheduler import SimulatedPool
 
-__all__ = ["ShardPart", "ShardedGraph", "shard_graph"]
+__all__ = ["ShardPart", "ShardedGraph", "shard_graph", "DIST_PARTITION"]
 
 STRATEGIES = ("range", "lp")
+
+#: Partition facts for SimDist (SAN603): which builder derives the
+#: owned/ghost/boundary sets, and which array names the owner map.
+#: The analyzer seeds its shard-indexed domain from these — owned rows
+#: are selected by owner-equality, so owned sets are pairwise disjoint
+#: and per-shard writes confined to owned slots cannot collide.
+DIST_PARTITION = {
+    "builder": "shard_graph",
+    "owner": "owner",
+    "owned": "owned",
+    "boundary": "boundary",
+    "ghosts": "ghosts",
+}
 
 
 @dataclass
@@ -85,17 +98,22 @@ def _owner_labels(
     strategy: str,
     pool: SimulatedPool | None,
 ) -> np.ndarray:
+    if strategy not in STRATEGIES:
+        raise ValueError(
+            f"unknown shard strategy {strategy!r}; expected one of {STRATEGIES}"
+        )
     n = graph.num_vertices
+    if n == 0 or num_shards == 1:
+        # trivial partition: everything on shard 0.  Short-circuiting
+        # here keeps label propagation away from empty frontier rows
+        # and saves the single-shard case its propagation rounds.
+        return np.zeros(n, dtype=np.int64)
     if strategy == "range":
-        return (np.arange(n, dtype=np.int64) * num_shards) // max(n, 1)
-    if strategy == "lp":
-        from repro.core.partition import label_propagation_partition
+        return (np.arange(n, dtype=np.int64) * num_shards) // n
+    from repro.core.partition import label_propagation_partition
 
-        lp_pool = pool or SimulatedPool(threads=4)
-        return label_propagation_partition(graph, num_shards, lp_pool)
-    raise ValueError(
-        f"unknown shard strategy {strategy!r}; expected one of {STRATEGIES}"
-    )
+    lp_pool = pool or SimulatedPool(threads=4)
+    return label_propagation_partition(graph, num_shards, lp_pool)
 
 
 def shard_graph(

@@ -29,12 +29,20 @@ Three complementary gates over the simulated-multicore kernels:
   classification of combining atomics (SAN503 order-sensitive float
   reductions), and per-kernel proof certificates committed to
   ``prove_manifest.json`` — certified kernels may run with the
-  SimCheck barrier elided (:meth:`MemChecker.apply_certificate`).
+  SimCheck barrier elided (:meth:`MemChecker.apply_certificate`);
+* :mod:`repro.sanitizer.dist` — SimDist, the SAN6xx family over the
+  distributed protocol: monotonicity certification of cross-shard
+  estimate updates (SAN601), BSP phase discipline (SAN602),
+  shard-ownership disjoint-write proofs (SAN603), declared
+  ``MESSAGE_SCHEMAS`` vs statically-derived wire effects of every
+  ``Network.send`` site (SAN604/605), and replay safety of
+  failover-reachable handlers (SAN606), with per-protocol proof
+  certificates committed to ``dist_manifest.json``.
 
 Entry points: ``repro sanitize`` (CLI; ``--memcheck`` adds SimCheck,
-``--flow`` adds SimFlow, ``--prove`` adds SimProve),
-``pytest --sanitize [--memcheck] [--prove]`` (test suite under the
-observers, gated on the proof manifest),
+``--flow`` adds SimFlow, ``--prove`` adds SimProve, ``--dist`` adds
+SimDist), ``pytest --sanitize [--memcheck] [--prove] [--dist]``
+(test suite under the observers, gated on the proof manifests),
 :func:`repro.sanitizer.kernels.run_all_kernels` (programmatic).  Also
 importable as :mod:`repro.analysis.sanitizer`.
 """
@@ -57,7 +65,27 @@ from repro.sanitizer.kernels import (
     run_all_kernels,
     run_kernel,
 )
-from repro.sanitizer.lint import LintFinding, lint_file, lint_paths, lint_source
+from repro.sanitizer.dist import (
+    DEFAULT_DIST_MANIFEST_PATH,
+    DistAnalyzer,
+    DistFinding,
+    DistReport,
+    ProtocolCertificate,
+    analyze_dist,
+    diff_dist_manifest,
+    dist_manifest_payload,
+    dist_selftest,
+    load_dist_manifest,
+    verify_dist_manifest,
+    write_dist_manifest,
+)
+from repro.sanitizer.lint import (
+    LintFinding,
+    dead_suppressions,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
 from repro.sanitizer.memcheck import (
     MemChecker,
     MemcheckFinding,
@@ -83,7 +111,12 @@ from repro.sanitizer.prove import (
     verify_manifest,
     write_manifest,
 )
-from repro.sanitizer.selftest import SELFTEST_PREFIX, run_racy_kernel, selftest
+from repro.sanitizer.selftest import (
+    SELFTEST_PREFIX,
+    family_selftests,
+    run_racy_kernel,
+    selftest,
+)
 from repro.sanitizer.vectorclock import VectorClock
 
 __all__ = [
@@ -119,9 +152,23 @@ __all__ = [
     "diff_manifest",
     "verify_manifest",
     "DEFAULT_MANIFEST_PATH",
+    "DistFinding",
+    "ProtocolCertificate",
+    "DistReport",
+    "DistAnalyzer",
+    "analyze_dist",
+    "dist_selftest",
+    "dist_manifest_payload",
+    "load_dist_manifest",
+    "write_dist_manifest",
+    "diff_dist_manifest",
+    "verify_dist_manifest",
+    "DEFAULT_DIST_MANIFEST_PATH",
+    "dead_suppressions",
     "SELFTEST_PREFIX",
     "run_racy_kernel",
     "selftest",
+    "family_selftests",
     "MemChecker",
     "MemcheckFinding",
     "NanOrigin",

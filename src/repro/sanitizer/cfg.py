@@ -33,7 +33,7 @@ from __future__ import annotations
 import ast
 from dataclasses import dataclass, field
 
-__all__ = ["Block", "CFG", "build_cfg"]
+__all__ = ["Block", "CFG", "build_cfg", "guarding_tests"]
 
 #: ``Block.kind`` values for branch-point blocks.
 BRANCH_KINDS = ("if", "while", "for")
@@ -336,3 +336,28 @@ def build_cfg(fn: ast.FunctionDef | ast.AsyncFunctionDef | ast.Lambda) -> CFG:
     else:
         body = fn.body
     return _Builder().build(body)
+
+
+def guarding_tests(
+    fn: ast.FunctionDef | ast.AsyncFunctionDef | ast.Lambda,
+    node: ast.AST,
+) -> list[ast.expr]:
+    """Branch/loop test expressions that decide whether ``node`` runs.
+
+    Builds the CFG for ``fn``, locates the block containing ``node``
+    and returns the ``test`` expression of every branch it is
+    (transitively) control-dependent on, in block order.  Used by
+    SimDist to recognize guarded-decrease stores: an estimate store
+    sitting under ``if new < est[v]:`` is monotone by construction.
+    """
+    cfg = build_cfg(fn)
+    bid = cfg.block_of(node)
+    if bid is None:
+        return []
+    cd = cfg.transitive_control_dependence()
+    tests: list[ast.expr] = []
+    for c in sorted(cd[bid]):
+        test = cfg.blocks[c].test
+        if test is not None:
+            tests.append(test)
+    return tests

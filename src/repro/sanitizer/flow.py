@@ -159,6 +159,9 @@ class FlowReport:
     workers: int = 0
     #: kernel name -> inferred EffectSignature (when kernels were checked)
     effects: dict[str, "EffectSignature"] = field(default_factory=dict)
+    #: (path, line) of suppression markers that actually swallowed a
+    #: finding this run — SAN002 (dead-suppression) treats these alive
+    suppressed_hits: set = field(default_factory=set)
 
     @property
     def errors(self) -> int:
@@ -842,6 +845,7 @@ class FlowAnalyzer:
         # the finding (and any suppression) lands in the worker's file
         line = issue.line
         if line in info.suppressed:
+            report.suppressed_hits.add((info.path, line))
             return
         report.findings.append(
             FlowFinding(
@@ -1003,7 +1007,9 @@ class FlowAnalyzer:
             value = env.eval(target.slice)
             line = target.lineno
             if value is _NON_INJECTIVE:
-                if contiguous and line not in info.suppressed:
+                if contiguous and line in info.suppressed:
+                    report.suppressed_hits.add((info.path, line))
+                elif contiguous:
                     report.findings.append(
                         FlowFinding(
                             path=info.path,
@@ -1083,6 +1089,7 @@ class FlowAnalyzer:
 
         def emit_403(reason: str) -> None:
             if line in info.suppressed:
+                report.suppressed_hits.add((info.path, line))
                 return
             report.findings.append(
                 FlowFinding(

@@ -47,6 +47,7 @@ __all__ = [
     "aff_neg",
     "aff_repr",
     "aff_scale",
+    "aff_split",
     "aff_sub",
     "aff_sym",
     "lower_const",
@@ -104,6 +105,17 @@ def aff_sub(a: Affine, b: Affine) -> Affine:
 
 def aff_is_const(a: Affine) -> bool:
     return all(c == 0 for sym, c in a.items() if sym != "")
+
+
+def aff_split(a: Affine) -> tuple[int, dict]:
+    """Split an affine form into ``(constant, {symbol: coeff})``.
+
+    Zero-coefficient symbols are dropped.  SimDist uses this to
+    normalize wire byte-count expressions (``header + per_item *
+    count``) against declared message schemas.
+    """
+    clean = _clean(a)
+    return clean.get("", 0), {s: c for s, c in clean.items() if s != ""}
 
 
 def aff_eq(a: Affine | None, b: Affine | None) -> bool:

@@ -31,6 +31,7 @@ __all__ = [
     "KERNELS",
     "KERNEL_EFFECTS",
     "KERNEL_EXTENTS",
+    "MESSAGE_SCHEMAS",
     "run_kernel",
     "run_all_kernels",
 ]
@@ -618,6 +619,41 @@ KERNEL_EXTENTS: dict[str, dict[str, str]] = {
         "new_vals": "n",
     },
     "cluster_serve": dict(_CSR_EXTENTS),
+}
+
+#: Declared wire format of every ``Network.send`` site reachable from
+#: a cluster kernel, keyed ``<module>.<function>#<ordinal>``.  SimDist
+#: (SAN604/605) derives each site's byte-count expression statically
+#: (``header + per_item * count``, resolving module constants through
+#: the affine domain) and diffs it against this table: an undeclared
+#: or contradicting site is a SAN604 error, a stale entry a SAN605
+#: warning.  ``per_item_bytes`` is an int for fixed-size payloads or
+#: the config attribute the size is read from; ``count`` must equal
+#: the unparsed count expression at the send site; ``unit`` is
+#: documentation only.
+MESSAGE_SCHEMAS: dict[str, dict[str, dict]] = {
+    "cluster_decompose": {
+        "decomposition.exchange#1": {
+            "header_bytes": 16,
+            "per_item_bytes": 8,
+            "count": "per_dest[dest]",
+            "unit": "changed boundary estimate",
+        },
+    },
+    "cluster_serve": {
+        "service._dispatch_attempt#1": {
+            "header_bytes": 0,
+            "per_item_bytes": "request_bytes",
+            "count": "max(sub_plan.distinct, 1)",
+            "unit": "routed query",
+        },
+        "service._dispatch_attempt#2": {
+            "header_bytes": 0,
+            "per_item_bytes": "response_bytes",
+            "count": "max(len(results), 1)",
+            "unit": "answer",
+        },
+    },
 }
 
 

@@ -14,6 +14,9 @@ code     severity  meaning
 =======  ========  =======================================================
 SAN001   warning   bare ``# sani: ok`` suppression with no trailing
                    reason — the escape hatch must document why
+SAN002   warning   dead suppression: a reasoned ``# sani: ok`` or a
+                   ``# prove:`` assumption on a line no analysis ever
+                   flags or consumes — stale escapes rot; delete them
 SAN101   error     subscript store into a captured container at an index
                    not derived from the loop item — overlapping writes
                    across virtual threads
@@ -75,9 +78,18 @@ import ast
 from dataclasses import dataclass
 from pathlib import Path
 
-__all__ = ["LintFinding", "lint_source", "lint_file", "lint_paths"]
+__all__ = [
+    "LintFinding",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+    "dead_suppressions",
+]
 
 SUPPRESS_MARKER = "# sani: ok"
+
+#: Prefix of SimProve assumption comments (consumed by prove.py).
+ASSUME_MARKER = "# prove:"
 
 #: Method names that mutate their receiver in place.
 MUTATING_METHODS = frozenset(
@@ -1026,6 +1038,87 @@ def lint_source(source: str, path: str = "<string>") -> list[LintFinding]:
     findings.extend(_ModuleLinter(tree, suppressed, path).run())
     findings.extend(_bare_suppressions(source, path))
     findings.sort(key=lambda f: (f.line, f.col, f.code))
+    return findings
+
+
+def _findings_unsuppressed(source: str, path: str) -> list[LintFinding]:
+    """The SAN1xx-3xx findings a module would get with every
+    ``# sani: ok`` marker disabled (SAN002 support: a marker is alive
+    only if this run flags its line)."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError:
+        return []
+    atomic_names = _collect_atomic_names(tree)
+    trusted_csr = _collect_trusted_csr(tree)
+    findings: list[LintFinding] = []
+    for worker in _find_workers(tree):
+        findings.extend(
+            _WorkerLinter(
+                worker, atomic_names, set(), path, trusted_csr
+            ).run()
+        )
+    findings.extend(_ModuleLinter(tree, set(), path).run())
+    return findings
+
+
+def dead_suppressions(
+    source: str,
+    path: str = "<string>",
+    used_lines: frozenset[int] | set[int] = frozenset(),
+) -> list[LintFinding]:
+    """SAN002: suppression/assumption markers that suppress nothing.
+
+    A reasoned ``# sani: ok`` is alive if a suppression-disabled lint
+    run flags its line, or if another analysis reported consuming it
+    (``used_lines`` — the CLI feeds in SimFlow's suppressed-store hits).
+    A ``# prove:`` assumption is alive only via ``used_lines`` (SimProve
+    records which assumption lines seeded an environment).  Everything
+    else is a stale escape: the hazard it excused is gone, and keeping
+    the marker would silently excuse the *next* hazard on that line.
+    """
+    import io
+    import tokenize
+
+    flagged = {f.line for f in _findings_unsuppressed(source, path)}
+    findings: list[LintFinding] = []
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            comment = tok.string
+            line = tok.start[0]
+            if line in used_lines:
+                continue
+            idx = comment.find(SUPPRESS_MARKER)
+            if idx >= 0:
+                rest = comment[idx + len(SUPPRESS_MARKER) :].strip()
+                if not (rest.startswith("-") and rest[1:].strip()):
+                    continue  # bare marker: SAN001's problem, not ours
+                if line in flagged:
+                    continue
+                marker = SUPPRESS_MARKER
+            elif comment.startswith(ASSUME_MARKER):
+                marker = ASSUME_MARKER
+            else:
+                continue
+            findings.append(
+                LintFinding(
+                    path=path,
+                    line=line,
+                    col=tok.start[1],
+                    code="SAN002",
+                    severity="warning",
+                    message=(
+                        f"dead suppression: {marker!r} marker "
+                        "suppresses nothing — no analysis flags this "
+                        "line; delete the marker"
+                    ),
+                )
+            )
+    except tokenize.TokenizeError:
+        pass
     return findings
 
 

@@ -249,6 +249,8 @@ class ProveReport:
 
     certificates: dict = field(default_factory=dict)
     findings: list = field(default_factory=list)
+    #: (path, line) of ``# prove:`` markers consumed this run (SAN002)
+    used_marker_lines: set = field(default_factory=set)
 
     @property
     def errors(self) -> list:
@@ -331,6 +333,9 @@ class _Assumptions:
     def __init__(self, source: str) -> None:
         self.items: dict[int, tuple] = {}
         self.chunks: dict[int, tuple] = {}
+        #: lines whose marker actually seeded an environment this run
+        #: (SAN002 dead-suppression support)
+        self.used_lines: set[int] = set()
         for i, text in enumerate(source.splitlines(), start=1):
             m = _ASSUME_ITEM_RE.search(text)
             if m:
@@ -346,12 +351,14 @@ class _Assumptions:
     def item_at(self, *lines: int) -> tuple | None:
         for ln in lines:
             if ln in self.items:
+                self.used_lines.add(ln)
                 return self.items[ln]
         return None
 
     def chunk_at(self, *lines: int) -> tuple | None:
         for ln in lines:
             if ln in self.chunks:
+                self.used_lines.add(ln)
                 return self.chunks[ln]
         return None
 
@@ -1401,6 +1408,9 @@ class ProveAnalyzer:
             )
             report.certificates[name] = cert
             report.findings.extend(findings)
+        for path, assumes in self._assumptions.items():
+            for ln in assumes.used_lines:
+                report.used_marker_lines.add((path, ln))
         report.findings.sort(key=lambda f: (f.path, f.line, f.key))
         return report
 

@@ -134,6 +134,18 @@ def pytest_addoption(parser):
             "composes with --sanitize/--memcheck"
         ),
     )
+    parser.addoption(
+        "--dist",
+        action="store_true",
+        default=False,
+        help=(
+            "before running the suite, re-run the SimDist SAN6xx "
+            "distributed-protocol certification and fail fast on any "
+            "SAN6xx violation or any drift against the committed "
+            "dist_manifest.json; composes with --sanitize/--memcheck/"
+            "--prove"
+        ),
+    )
 
 
 def pytest_configure(config):
@@ -143,6 +155,12 @@ def pytest_configure(config):
         ok, message = verify_manifest()
         if not ok:
             pytest.exit(f"--prove gate failed: {message}", returncode=1)
+    if config.getoption("--dist"):
+        from repro.sanitizer.dist import verify_dist_manifest
+
+        ok, message = verify_dist_manifest()
+        if not ok:
+            pytest.exit(f"--dist gate failed: {message}", returncode=1)
     sanitize = config.getoption("--sanitize")
     memcheck = config.getoption("--memcheck")
     if not (sanitize or memcheck):

@@ -94,10 +94,59 @@ class TestNetwork:
         net = Network(2)
         with pytest.raises(ValueError):
             net.send(0, 2, 8)
+        with pytest.raises(ValueError):
+            net.cost(-1, 0, 8)
+        with pytest.raises(ValueError):
+            net.hops(0, 5)
 
     def test_bad_topology_rejected(self):
         with pytest.raises(ValueError):
             NetworkConfig(topology="torus")
+
+    def test_negative_nbytes_rejected(self):
+        net = Network(2)
+        with pytest.raises(ValueError, match=r"0->1.*>= 0"):
+            net.send(0, 1, -1)
+        with pytest.raises(ValueError, match=">= 0"):
+            net.cost(0, 1, -8)
+        assert net.messages == 0 and net.bytes_sent == 0
+
+    @pytest.mark.parametrize("bad", [2.5, "8", None, True])
+    def test_non_int_nbytes_rejected(self, bad):
+        net = Network(2)
+        with pytest.raises(ValueError, match="must be an int"):
+            net.send(0, 1, bad)
+        with pytest.raises(ValueError, match="must be an int"):
+            net.cost(0, 1, bad)
+
+    def test_numpy_integer_nbytes_accepted(self):
+        net = Network(2)
+        net.send(0, 1, np.int64(8))
+        assert net.bytes_sent == 8
+
+    def test_ring_and_switch_disagree_beyond_neighbors(self):
+        ring = Network(6, NetworkConfig(topology="ring"))
+        switch = Network(6)
+        assert switch.hops(0, 3) == 1
+        assert ring.hops(0, 3) == 3
+        assert ring.cost(0, 3, 0) == 3 * ring.config.latency
+
+    def test_reset_stats_round_trip(self):
+        net = Network(3)
+        net.send(0, 1, 8)
+        net.send(1, 2, 24)
+        before = net.stats()
+        assert before["messages"] == 2 and before["bytes"] == 32
+        net.reset()
+        cleared = net.stats()
+        assert cleared["messages"] == 0
+        assert cleared["bytes"] == 0
+        assert cleared["cost"] == 0.0
+        assert cleared["links"] == {}
+        # counters accumulate identically after a reset
+        net.send(0, 1, 8)
+        net.send(1, 2, 24)
+        assert net.stats() == before
 
 
 # ----------------------------------------------------------------------
@@ -148,6 +197,38 @@ class TestShardGraph:
     def test_unknown_strategy(self):
         with pytest.raises(ValueError):
             shard_graph(_graph(), 2, strategy="metis")
+
+    def test_unknown_strategy_beats_trivial_short_circuit(self):
+        # validation first: even the degenerate cases reject bad names
+        from repro.graph.graph import Graph
+
+        with pytest.raises(ValueError):
+            shard_graph(Graph.from_edges([], num_vertices=0), 2, strategy="metis")
+        with pytest.raises(ValueError):
+            shard_graph(_graph(), 1, strategy="metis")
+
+    @pytest.mark.parametrize("strategy", ["range", "lp"])
+    def test_empty_graph(self, strategy):
+        from repro.graph.graph import Graph
+
+        sharded = shard_graph(
+            Graph.from_edges([], num_vertices=0), 4, strategy=strategy
+        )
+        assert sharded.owner.shape == (0,)
+        assert len(sharded.parts) == 4
+        assert sharded.edge_cut == 0
+        for part in sharded.parts:
+            assert part.owned.size == 0
+            assert part.boundary.size == 0
+        json.dumps(sharded.stats())
+
+    def test_single_shard_lp_is_trivial(self):
+        # shards=1 short-circuits before label propagation ever runs
+        graph = _graph()
+        sharded = shard_graph(graph, 1, strategy="lp")
+        assert np.all(sharded.owner == 0)
+        assert sharded.edge_cut == 0
+        assert sharded.parts[0].owned.size == graph.num_vertices
 
     def test_stats_json_ready(self):
         json.dumps(shard_graph(_graph(), 2).stats())

@@ -1,0 +1,383 @@
+"""SimDist SAN6xx: distributed-protocol certification tests.
+
+Covers the in-tree certification (both cluster protocols must pass),
+the seeded selftest's exact line attribution, the committed-manifest
+drift detection, the wire-schema comparison (SAN604/605) on a
+synthetic cluster module, and the monotonicity / phase / replay
+judgements on standalone protocol sources.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.sanitizer.dist import (
+    DEFAULT_DIST_MANIFEST_PATH,
+    DistAnalyzer,
+    analyze_dist,
+    analyze_protocol_source,
+    diff_dist_manifest,
+    dist_manifest_payload,
+    dist_selftest,
+    load_dist_manifest,
+    verify_dist_manifest,
+    write_dist_manifest,
+)
+from repro.sanitizer.flow import ModuleIndex, ModuleInfo
+
+
+# ----------------------------------------------------------------------
+# in-tree certification
+# ----------------------------------------------------------------------
+
+class TestInTree:
+    def test_cluster_layer_certifies(self):
+        report = analyze_dist()
+        assert not report.findings, [str(f) for f in report.findings]
+        assert report.certified == ["decompose", "serve"]
+        for cert in report.certificates.values():
+            assert cert.status == "certified"
+
+    def test_every_cluster_kernel_classified(self):
+        report = analyze_dist()
+        assert report.kernels["cluster_decompose"] == "decompose"
+        assert report.kernels["cluster_serve"] == "serve"
+        assert "unclassified" not in report.kernels.values()
+
+    def test_decompose_obligations(self):
+        cert = analyze_dist().certificates["decompose"]
+        assert "monotone:updates" in cert.obligations
+        assert "phase:sends" in cert.obligations
+        assert "ownership:partition" in cert.obligations
+        assert any(k.startswith("replay:") for k in cert.obligations)
+        # the exchange send is derived with the real wire constants
+        (site,) = cert.sends.values()
+        assert site["header_bytes"] == 16
+        assert site["per_item_bytes"] == 8
+
+    def test_serve_recovery_rebuilds(self):
+        cert = analyze_dist().certificates["serve"]
+        assert "HCDService" in cert.obligations["phase:recovery-rebuild"]
+        assert len(cert.sends) == 2
+
+    def test_committed_manifest_in_sync(self):
+        ok, message = verify_dist_manifest()
+        assert ok, message
+        assert "manifest in sync" in message
+
+
+# ----------------------------------------------------------------------
+# seeded selftest
+# ----------------------------------------------------------------------
+
+class TestSelftest:
+    def test_selftest_passes(self):
+        ok, message = dist_selftest()
+        assert ok, message
+        assert "SAN601" in message and "SAN602" in message
+
+    def test_planted_lines_attributed_exactly(self):
+        from repro.sanitizer.dist import (
+            _NONMONO_LINE,
+            _NONMONO_SOURCE,
+            _PHASE_LINE,
+            _PHASE_SOURCE,
+            _SELFTEST_PROTOCOL,
+        )
+
+        report = analyze_protocol_source(
+            _NONMONO_SOURCE, _SELFTEST_PROTOCOL
+        )
+        (finding,) = report.findings
+        assert (finding.code, finding.line) == ("SAN601", _NONMONO_LINE)
+        report = analyze_protocol_source(_PHASE_SOURCE, _SELFTEST_PROTOCOL)
+        (finding,) = report.findings
+        assert (finding.code, finding.line) == ("SAN602", _PHASE_LINE)
+
+
+# ----------------------------------------------------------------------
+# monotonicity / phase / replay judgements on standalone sources
+# ----------------------------------------------------------------------
+
+_PROTOCOL = {
+    "name": "toy",
+    "kernels": (),
+    "estimates": ("est",),
+    "live": ("est",),
+    "compute_roots": (),
+    "send_scopes": (),
+    "recovery_roots": (),
+    "rebuild_calls": (),
+    "handler_roots": ("exchange",),
+    "metrics": ("hops",),
+    "lww": ("label",),
+}
+
+_TEMPLATE = """\
+import numpy as np
+
+def driver(cluster, est, results):
+    committed = est.copy()
+
+    def exchange():
+        for s in sorted(results):
+            ids, vals = results[s]
+            {update}
+    cluster.superstep("step", {{}}, exchange)
+"""
+
+
+def _judge(update: str):
+    return analyze_protocol_source(
+        _TEMPLATE.format(update=update), _PROTOCOL
+    )
+
+
+class TestMonotonicity:
+    def test_min_combining_certifies(self):
+        report = _judge("est[ids] = np.minimum(est[ids], vals)")
+        assert not report.findings
+        assert report.certificates["toy"].status == "certified"
+
+    def test_augmented_increase_flagged(self):
+        # the in-place increase violates both monotonicity and replay
+        # safety (a re-delivered message would apply the delta twice)
+        report = _judge("est[ids] += vals")
+        codes = [f.code for f in report.findings]
+        assert "SAN601" in codes
+
+    def test_max_combining_flagged(self):
+        report = _judge("est[ids] = np.maximum(est[ids], vals)")
+        assert [f.code for f in report.findings] == ["SAN601"]
+        assert "monotone" in report.findings[0].message
+
+    def test_transport_of_estimate_certifies(self):
+        # pure transport: storing estimate-derived values verbatim
+        report = _judge("est[ids] = est[ids]")
+        assert not report.findings
+
+    def test_missing_freeze_flagged(self):
+        source = _TEMPLATE.format(
+            update="est[ids] = np.minimum(est[ids], vals)"
+        ).replace("    committed = est.copy()\n", "")
+        report = analyze_protocol_source(source, _PROTOCOL)
+        assert any(f.code == "SAN602" for f in report.findings)
+        cert = report.certificates["toy"]
+        assert cert.obligations["phase:freeze"].startswith("VIOLATED")
+
+
+class TestReplay:
+    def test_metric_and_lww_writes_allowed(self):
+        report = _judge(
+            "est[ids] = np.minimum(est[ids], vals); "
+            "cluster.hops = cluster.hops + 1; cluster.label = s"
+        )
+        assert not report.findings
+        summary = report.certificates["toy"].handlers["driver.exchange"]
+        assert "metric=1" in summary and "lww=2" in summary
+
+    def test_non_idempotent_handler_write_flagged(self):
+        report = _judge(
+            "est[ids] = np.minimum(est[ids], vals); "
+            "cluster.journal = vals"
+        )
+        assert any(f.code == "SAN606" for f in report.findings)
+
+
+# ----------------------------------------------------------------------
+# wire schemas (SAN604/605) on a synthetic cluster module
+# ----------------------------------------------------------------------
+
+_TOY_CLUSTER = """\
+DIST_PROTOCOL = {
+    "name": "toy",
+    "kernels": ("cluster_toy",),
+    "estimates": (),
+    "live": (),
+    "compute_roots": (),
+    "send_scopes": ("pump",),
+    "recovery_roots": (),
+    "rebuild_calls": (),
+    "handler_roots": (),
+    "metrics": (),
+    "lww": (),
+}
+
+def pump(network, ids):
+    network.send(0, 1, 16 + 8 * len(ids))
+"""
+
+
+def _toy_index(schemas: dict) -> ModuleIndex:
+    index = ModuleIndex()
+    kernels_src = (
+        f"MESSAGE_SCHEMAS = {schemas!r}\n"
+        "KERNELS: dict = {}\n"
+    )
+    for name, path, src in [
+        ("repro.cluster.toy", "<toy>", _TOY_CLUSTER),
+        ("repro.sanitizer.kernels", "<toy-kernels>", kernels_src),
+    ]:
+        info = ModuleInfo(name, path, src)
+        index.modules[name] = info
+        index.by_path[path] = info
+    return index
+
+
+_GOOD_SCHEMA = {
+    "cluster_toy": {
+        "toy.pump#1": {
+            "header_bytes": 16,
+            "per_item_bytes": 8,
+            "count": "len(ids)",
+            "unit": "toy item",
+        },
+    },
+}
+
+
+class TestWireSchemas:
+    def test_matching_declaration_certifies(self):
+        report = DistAnalyzer(_toy_index(_GOOD_SCHEMA)).analyze()
+        assert not report.findings, [str(f) for f in report.findings]
+        assert report.certificates["toy"].status == "certified"
+        assert report.certificates["toy"].sends["toy.pump#1"] == {
+            "header_bytes": 16,
+            "per_item_bytes": 8,
+            "count": "len(ids)",
+        }
+
+    def test_undeclared_send_is_san604(self):
+        report = DistAnalyzer(_toy_index({})).analyze()
+        codes = [f.code for f in report.findings]
+        assert "SAN604" in codes
+        assert report.certificates["toy"].status == "violations"
+
+    def test_field_mismatch_is_san604(self):
+        bad = {
+            "cluster_toy": {
+                "toy.pump#1": {
+                    "header_bytes": 16,
+                    "per_item_bytes": 4,
+                    "count": "len(ids)",
+                },
+            },
+        }
+        report = DistAnalyzer(_toy_index(bad)).analyze()
+        san604 = [f for f in report.findings if f.code == "SAN604"]
+        assert san604 and "per_item_bytes" in san604[0].message
+
+    def test_stale_declaration_is_san605_warning(self):
+        stale = {
+            "cluster_toy": {
+                "toy.pump#1": _GOOD_SCHEMA["cluster_toy"]["toy.pump#1"],
+                "toy.pump#2": {
+                    "header_bytes": 16,
+                    "per_item_bytes": 8,
+                    "count": "len(ids)",
+                },
+            },
+        }
+        report = DistAnalyzer(_toy_index(stale)).analyze()
+        assert [f.code for f in report.findings] == ["SAN605"]
+        assert report.findings[0].severity == "warning"
+        # a stale declaration does not void the protocol's certificate
+        assert report.certificates["toy"].status == "certified"
+
+
+# ----------------------------------------------------------------------
+# manifest round-trip + tamper detection
+# ----------------------------------------------------------------------
+
+class TestManifest:
+    def test_round_trip_in_sync(self, tmp_path):
+        report = analyze_dist()
+        path = write_dist_manifest(report, tmp_path / "dist.json")
+        committed = load_dist_manifest(path)
+        assert committed["schema"] == "dist-manifest/v1"
+        assert diff_dist_manifest(
+            dist_manifest_payload(report), committed
+        ) == []
+
+    def test_missing_manifest_names_the_fix(self):
+        report = analyze_dist()
+        lines = diff_dist_manifest(dist_manifest_payload(report), None)
+        assert lines and "--write-manifest" in lines[0]
+
+    def test_protocol_field_tamper_detected(self, tmp_path):
+        report = analyze_dist()
+        path = write_dist_manifest(report, tmp_path / "dist.json")
+        committed = json.loads(path.read_text())
+        committed["protocols"]["decompose"]["status"] = "violations"
+        lines = diff_dist_manifest(
+            dist_manifest_payload(report), committed
+        )
+        assert any(
+            "decompose" in line and "status" in line for line in lines
+        )
+
+    def test_message_schema_tamper_detected(self, tmp_path):
+        report = analyze_dist()
+        path = write_dist_manifest(report, tmp_path / "dist.json")
+        committed = json.loads(path.read_text())
+        committed["message_schemas"]["cluster_decompose"] = {}
+        lines = diff_dist_manifest(
+            dist_manifest_payload(report), committed
+        )
+        assert any("message_schemas" in line for line in lines)
+
+    def test_tampered_manifest_fails_verify(self, tmp_path):
+        report = analyze_dist()
+        path = write_dist_manifest(report, tmp_path / "dist.json")
+        committed = json.loads(path.read_text())
+        del committed["protocols"]["serve"]
+        path.write_text(json.dumps(committed))
+        ok, message = verify_dist_manifest(path)
+        assert not ok
+        assert "serve" in message
+
+    def test_committed_manifest_file_exists(self):
+        assert DEFAULT_DIST_MANIFEST_PATH.exists()
+        payload = load_dist_manifest()
+        assert set(payload["protocols"]) == {"decompose", "serve"}
+
+
+# ----------------------------------------------------------------------
+# CLI exit contract
+# ----------------------------------------------------------------------
+
+class TestCli:
+    def test_dist_gate_clean(self, capsys):
+        assert cli_main(["sanitize", "--dist"]) == 0
+        out = capsys.readouterr().out
+        assert "SimDist SAN6xx" in out
+        assert "== OK ==" in out
+
+    def test_dist_strict_clean(self):
+        assert cli_main(["sanitize", "--strict", "--dist"]) == 0
+
+    def test_dist_selftest_via_cli(self, capsys):
+        assert cli_main(["sanitize", "--dist", "--selftest"]) == 0
+        assert "[dist]" in capsys.readouterr().out
+
+    def test_dist_report_json(self, tmp_path, capsys):
+        out = tmp_path / "report.json"
+        assert (
+            cli_main(["sanitize", "--dist", "--report", str(out)]) == 0
+        )
+        payload = json.loads(out.read_text())
+        assert payload["schema"] == "sanitize-report/v1"
+        assert set(payload["dist"]["certificates"]) == {
+            "decompose",
+            "serve",
+        }
+        assert payload["dist"]["drift"] == []
+        assert payload["dist"]["kernels"]["cluster_decompose"] == (
+            "decompose"
+        )
+
+    def test_usage_error_is_exit_2(self, capsys):
+        assert cli_main(["sanitize", "--dist", "--threads", "0"]) == 2

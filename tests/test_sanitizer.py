@@ -428,6 +428,92 @@ class TestLint:
         assert not errors, "\n".join(str(f) for f in errors)
 
 
+class TestDeadSuppressions:
+    """SAN002: suppression markers that no analysis consumes."""
+
+    _LIVE = (
+        "shared = []\n"
+        "def worker(v, ctx):\n"
+        "    ctx.charge(1)\n"
+        "    shared.append(v)  # sani: ok - seeded, lint flags this\n"
+        "pool.parallel_for(items, worker)\n"
+    )
+    _DEAD = (
+        "def plain(values):\n"
+        "    total = 0\n"
+        "    for v in values:\n"
+        "        total += v  # sani: ok - nothing here needs excusing\n"
+        "    return total\n"
+    )
+
+    def test_live_marker_not_flagged(self):
+        from repro.sanitizer.lint import dead_suppressions
+
+        assert dead_suppressions(self._LIVE) == []
+
+    def test_dead_marker_flagged_with_line(self):
+        from repro.sanitizer.lint import dead_suppressions
+
+        (finding,) = dead_suppressions(self._DEAD, path="toy.py")
+        assert finding.code == "SAN002"
+        assert finding.severity == "warning"
+        assert (finding.path, finding.line) == ("toy.py", 4)
+        assert "suppresses nothing" in finding.message
+
+    def test_bare_marker_left_to_san001(self):
+        from repro.sanitizer.lint import dead_suppressions
+
+        source = self._DEAD.replace(
+            "# sani: ok - nothing here needs excusing", "# sani: ok"
+        )
+        assert dead_suppressions(source) == []
+        assert "SAN001" in _lint_codes(source)
+
+    def test_unused_prove_assumption_flagged(self):
+        from repro.sanitizer.lint import dead_suppressions
+
+        source = (
+            "# prove: n >= 1\n"
+            "def f(n):\n"
+            "    return n\n"
+        )
+        (finding,) = dead_suppressions(source)
+        assert finding.code == "SAN002" and finding.line == 1
+
+    def test_used_lines_keep_markers_alive(self):
+        from repro.sanitizer.lint import dead_suppressions
+
+        source = (
+            "# prove: n >= 1\n"
+            "def f(n):\n"
+            "    return n  # sani: ok - flow proved this store disjoint\n"
+        )
+        assert len(dead_suppressions(source)) == 2
+        assert dead_suppressions(source, used_lines={1, 3}) == []
+
+    def test_in_tree_prove_assumptions_are_consumed(self):
+        # the committed # prove: markers must seed real environments
+        from pathlib import Path
+
+        from repro.sanitizer.lint import dead_suppressions
+        from repro.sanitizer.prove import prove_kernels
+
+        report = prove_kernels(["pkc"])
+        path = Path("src/repro/core/pkc.py")
+        used = {
+            ln
+            for p, ln in report.used_marker_lines
+            if Path(p).resolve() == path.resolve()
+        }
+        assert used, "prove recorded no assumption lines for pkc"
+        findings = dead_suppressions(
+            path.read_text(encoding="utf-8"),
+            path=str(path),
+            used_lines=used,
+        )
+        assert findings == [], [str(f) for f in findings]
+
+
 class TestKernelGate:
     @pytest.mark.parametrize("name", sorted(KERNELS))
     def test_kernel_is_race_free(self, name):
